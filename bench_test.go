@@ -1,0 +1,358 @@
+package repro
+
+// Benchmarks regenerating the paper's figures and tables and the extended
+// experiments of DESIGN.md. Each benchmark corresponds to one experiment id
+// (see the per-experiment index in DESIGN.md and the measured results in
+// EXPERIMENTS.md):
+//
+//	E-F1     BenchmarkFigure1SchemaConstruction
+//	E-F2     BenchmarkFigure2InstanceLoad
+//	E-T1     BenchmarkTable1Classification
+//	E-T2     BenchmarkTable2Connections
+//	E-T3     BenchmarkTable3Annotation
+//	E-MTJNT  BenchmarkMTJNTLoss
+//	E-RANK   BenchmarkRankingStrategies
+//	E-SCALE  BenchmarkScaleLossRate
+//	E-ENGINE BenchmarkEnginesComparison
+//	E-ABL    BenchmarkAblationERLength / BenchmarkAblationLooseness
+//
+// The component benchmarks at the end measure the substrates in isolation.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagraph"
+	"repro/internal/er"
+	"repro/internal/experiments"
+	"repro/internal/index"
+	"repro/internal/paperdb"
+	"repro/internal/ranking"
+	"repro/internal/search/banks"
+	"repro/internal/search/mtjnt"
+	"repro/internal/search/paths"
+	"repro/internal/workload"
+	"repro/kws"
+)
+
+// BenchmarkFigure1SchemaConstruction regenerates Figure 1: building the ER
+// schema of the running example and describing its relationships.
+func BenchmarkFigure1SchemaConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Lines) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkFigure2InstanceLoad regenerates Figure 2: loading and dumping the
+// relational instance.
+func BenchmarkFigure2InstanceLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Lines) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkTable1Classification regenerates Table 1: enumerating the
+// conceptual relationship paths and classifying their cardinality
+// combinations.
+func BenchmarkTable1Classification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Lines) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkTable2Connections regenerates Table 2: enumerating the
+// connections of the running queries and computing their RDB and ER lengths.
+func BenchmarkTable2Connections(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Lines) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkTable3Annotation regenerates Table 3: the same connections with
+// per-join cardinalities and close/loose classification.
+func BenchmarkTable3Annotation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Lines) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkMTJNTLoss regenerates the Section 3 comparison: which connections
+// the MTJNT principle keeps and which it loses.
+func BenchmarkMTJNTLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.MTJNTLoss()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Lines) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkRankingStrategies ranks the "Smith XML" answers under every
+// strategy the experiments compare (E-RANK).
+func BenchmarkRankingStrategies(b *testing.B) {
+	engine, err := paths.New(paperdb.MustLoad(), paths.Options{MaxEdges: 3, RequireAllKeywords: true, InstanceCorroboration: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	answers, err := engine.Search(paperdb.QuerySmithXML)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([]ranking.Item, len(answers))
+	for i, a := range answers {
+		items[i] = ranking.Item{Analysis: a.Analysis, Content: a.ContentScore}
+	}
+	for _, scorer := range ranking.Strategies() {
+		b.Run(scorer.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := ranking.Rank(items, scorer); len(got) != len(items) {
+					b.Fatal("lost items while ranking")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaleLossRate measures the MTJNT loss-rate sweep at increasing
+// database sizes (E-SCALE).
+func BenchmarkScaleLossRate(b *testing.B) {
+	for _, scale := range []int{1, 2, 4} {
+		b.Run(benchName("scale", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, _, err := experiments.ScaleExperiment(experiments.ScaleOptions{
+					Scales: []int{scale}, Queries: 4, MaxEdges: 3, Seed: 42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != 1 {
+					b.Fatal("unexpected result count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnginesComparison measures the three engines on the same
+// generated workload (E-ENGINE).
+func BenchmarkEnginesComparison(b *testing.B) {
+	db := workload.MustGenerate(workload.ScaledConfig(2, 42))
+	analyzer, err := core.Derive(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := datagraph.Build(db)
+	idx := index.Build(db)
+	queries := workload.Queries(4, 42)
+
+	pathEngine, err := paths.NewWithComponents(db, g, idx, analyzer, paths.Options{MaxEdges: 3, RequireAllKeywords: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mtjntEngine, err := mtjnt.NewWithComponents(db, g, idx, mtjnt.Options{MaxEdges: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	banksEngine, err := banks.NewWithComponents(db, g, idx, banks.Options{MaxDepth: 3, MaxResults: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("paths", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				_, _ = pathEngine.Search(q.Keywords)
+			}
+		}
+	})
+	b.Run("mtjnt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				_, _ = mtjntEngine.Search(q.Keywords)
+			}
+		}
+	})
+	b.Run("banks", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				_, _ = banksEngine.Search(q.Keywords)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationERLength measures the ablation of the conceptual-length
+// design choice: analysing and ranking the paper's connections when middle
+// relations are collapsed (ER length) versus counted (RDB length).
+func BenchmarkAblationERLength(b *testing.B) {
+	engine, err := paths.New(paperdb.MustLoad(), paths.Options{MaxEdges: 3, RequireAllKeywords: true, InstanceCorroboration: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	answers, err := engine.Search(paperdb.QuerySmithXML)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([]ranking.Item, len(answers))
+	for i, a := range answers {
+		items[i] = ranking.Item{Analysis: a.Analysis, Content: a.ContentScore}
+	}
+	b.Run("rdb-length", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ranking.Rank(items, ranking.RDBLength{})
+		}
+	})
+	b.Run("er-length", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ranking.Rank(items, ranking.ERLength{})
+		}
+	})
+}
+
+// BenchmarkAblationLooseness measures the looseness-penalty ablation: the
+// full ablation experiment comparing ranking configurations on the running
+// example.
+func BenchmarkAblationLooseness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.Ablation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) == 0 {
+			b.Fatal("empty ablation")
+		}
+	}
+}
+
+// Component benchmarks.
+
+// BenchmarkIndexBuild measures building the keyword index over a scaled
+// synthetic database.
+func BenchmarkIndexBuild(b *testing.B) {
+	db := workload.MustGenerate(workload.ScaledConfig(4, 42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := index.Build(db)
+		if idx.DocCount() == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}
+
+// BenchmarkDataGraphBuild measures building the tuple graph over a scaled
+// synthetic database.
+func BenchmarkDataGraphBuild(b *testing.B) {
+	db := workload.MustGenerate(workload.ScaledConfig(4, 42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := datagraph.Build(db)
+		if g.NodeCount() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkConnectionAnalysis measures the core contribution in isolation:
+// lifting and classifying the paper's nine connections.
+func BenchmarkConnectionAnalysis(b *testing.B) {
+	db := paperdb.MustLoad()
+	analyzer, err := core.Derive(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := datagraph.Build(db)
+	idx := index.Build(db)
+	var conns []core.Connection
+	for from := range idx.KeywordTuples("XML") {
+		for to := range idx.KeywordTuples("Smith") {
+			conns = append(conns, core.EnumerateConnections(g, from, to, 3)...)
+		}
+	}
+	if len(conns) == 0 {
+		b.Fatal("no connections to analyse")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range conns {
+			if _, err := analyzer.Analyze(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCardinalityClassification measures the cardinality algebra alone.
+func BenchmarkCardinalityClassification(b *testing.B) {
+	paths := [][]er.Cardinality{
+		{er.OneToMany},
+		{er.OneToMany, er.OneToMany},
+		{er.OneToMany, er.ManyToMany},
+		{er.ManyToOne, er.OneToMany},
+		{er.OneToMany, er.ManyToMany, er.OneToMany},
+		{er.ManyToOne, er.OneToMany, er.ManyToOne, er.OneToMany},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, p := range paths {
+			_ = er.ClassifyPath(p)
+			_ = er.TransitiveNMCount(p)
+			_ = er.LoosenessDegree(p)
+		}
+	}
+}
+
+// BenchmarkPublicAPISearch measures an end-to-end search through the public
+// kws facade on the paper database.
+func BenchmarkPublicAPISearch(b *testing.B) {
+	engine, err := kws.Open(kws.PaperExample(), kws.Config{Ranking: kws.RankCloseFirst, MaxJoins: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := engine.Search("Smith", "XML")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 7 {
+			b.Fatalf("results = %d", len(results))
+		}
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return fmt.Sprintf("%s-%d", prefix, n)
+}

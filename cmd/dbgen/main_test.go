@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesCSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(1, 7, dir, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"DEPARTMENT.csv", "PROJECT.csv", "EMPLOYEE.csv", "WORKS_ON.csv", "DEPENDENT.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, want))
+		if err != nil {
+			t.Fatalf("missing %s: %v", want, err)
+		}
+		if !strings.Contains(string(data), ",") {
+			t.Errorf("%s does not look like CSV", want)
+		}
+	}
+}
+
+func TestRunStatsOutput(t *testing.T) {
+	if err := run(1, 7, t.TempDir(), true); err != nil {
+		t.Fatalf("run with stats: %v", err)
+	}
+}
+
+func TestRunInvalidOutputDir(t *testing.T) {
+	// A file in place of the output directory makes MkdirAll fail.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocked")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(1, 7, filepath.Join(blocker, "sub"), false); err == nil {
+		t.Error("unwritable output directory should fail")
+	}
+}

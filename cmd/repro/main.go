@@ -1,0 +1,117 @@
+// Command repro regenerates the paper's figures and tables and runs the
+// extended experiments.
+//
+// Usage:
+//
+//	repro                      # all paper artifacts (Figures 1-2, Tables 1-3, MTJNT loss, ranking, ablation)
+//	repro -artifact table2     # one artifact: figure1, figure2, table1, table2, table3, mtjnt, ranking, ablation
+//	repro -artifact scale -scales 1,2,4,8 -queries 20
+//	repro -artifact engines -scale 4 -queries 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		artifact = flag.String("artifact", "all", "artifact to regenerate: all, figure1, figure2, table1, table2, table3, mtjnt, ranking, ablation, scale, engines")
+		scales   = flag.String("scales", "1,2,4", "comma-separated workload scales for -artifact scale")
+		scale    = flag.Int("scale", 2, "workload scale for -artifact engines")
+		queries  = flag.Int("queries", 10, "number of generated queries for scaled experiments")
+		maxJoins = flag.Int("maxjoins", 3, "connection budget in joins for scaled experiments")
+		seed     = flag.Int64("seed", 42, "random seed for workload generation")
+	)
+	flag.Parse()
+
+	if err := run(*artifact, *scales, *scale, *queries, *maxJoins, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(artifact, scales string, scale, queries, maxJoins int, seed int64) error {
+	single := map[string]func() (experiments.Report, error){
+		"figure1": experiments.Figure1,
+		"figure2": experiments.Figure2,
+		"table1":  experiments.Table1,
+		"table2":  experiments.Table2,
+		"table3":  experiments.Table3,
+		"mtjnt":   experiments.MTJNTLoss,
+		"ranking": experiments.RankingComparison,
+	}
+	switch artifact {
+	case "all":
+		reports, err := experiments.All()
+		if err != nil {
+			return err
+		}
+		for _, r := range reports {
+			fmt.Println(r.String())
+		}
+		return nil
+	case "ablation":
+		_, r, err := experiments.Ablation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.String())
+		return nil
+	case "scale":
+		parsed, err := parseScales(scales)
+		if err != nil {
+			return err
+		}
+		_, r, err := experiments.ScaleExperiment(experiments.ScaleOptions{
+			Scales: parsed, Queries: queries, MaxEdges: maxJoins, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.String())
+		return nil
+	case "engines":
+		_, r, err := experiments.EngineComparison(scale, queries, maxJoins, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.String())
+		return nil
+	default:
+		f, ok := single[artifact]
+		if !ok {
+			return fmt.Errorf("unknown artifact %q", artifact)
+		}
+		r, err := f()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.String())
+		return nil
+	}
+}
+
+func parseScales(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid scale %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no scales given")
+	}
+	return out, nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestRunSingleArtifacts(t *testing.T) {
+	for _, artifact := range []string{"figure1", "figure2", "table1", "table2", "table3", "mtjnt", "ranking", "ablation"} {
+		if err := run(artifact, "1", 1, 2, 3, 42); err != nil {
+			t.Errorf("run(%s): %v", artifact, err)
+		}
+	}
+}
+
+func TestRunAllAndScaledArtifacts(t *testing.T) {
+	if err := run("all", "1", 1, 2, 3, 42); err != nil {
+		t.Errorf("run(all): %v", err)
+	}
+	if err := run("scale", "1,2", 1, 3, 3, 42); err != nil {
+		t.Errorf("run(scale): %v", err)
+	}
+	if err := run("engines", "1", 1, 3, 3, 42); err != nil {
+		t.Errorf("run(engines): %v", err)
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	if err := run("bogus", "1", 1, 1, 3, 42); err == nil {
+		t.Error("unknown artifact should fail")
+	}
+}
+
+func TestParseScales(t *testing.T) {
+	got, err := parseScales("1, 2,8")
+	if err != nil || len(got) != 3 || got[2] != 8 {
+		t.Errorf("parseScales = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "x", "-1"} {
+		if _, err := parseScales(bad); err == nil {
+			t.Errorf("parseScales(%q) should fail", bad)
+		}
+	}
+}

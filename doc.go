@@ -1,0 +1,12 @@
+// Package repro is the root of a reproduction of "Close and Loose
+// Associations in Keyword Search from Structural Data" (Vainio, Junkkari,
+// Kekäläinen; EDBT/ICDT 2017 joint conference workshops).
+//
+// The public API lives in the kws package; the paper's contribution
+// (conceptual connection lengths and close/loose association analysis) is
+// implemented in internal/core on top of an in-memory relational engine,
+// an ER layer, graph substrates, a keyword index and three search engines
+// (connection enumeration, DISCOVER-style MTJNT and BANKS-style backward
+// expansion). The benchmarks in bench_test.go regenerate every figure and
+// table of the paper; cmd/repro prints them as reports.
+package repro

@@ -1,0 +1,214 @@
+// Package datagraph builds the tuple graph of a relational database: one
+// node per tuple, one undirected edge per resolved foreign-key reference.
+// The BANKS-style search, the path enumerator and the instance-level
+// association analysis all operate on it.
+package datagraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Edge is an edge of the tuple graph, stored from the referencing tuple to
+// the referenced tuple.
+type Edge struct {
+	// From is the referencing tuple (the foreign-key owner).
+	From relation.TupleID
+	// To is the referenced tuple.
+	To relation.TupleID
+	// ForeignKey is the label of the foreign key inducing the edge.
+	ForeignKey string
+}
+
+// Reverse returns the edge read in the opposite direction.
+func (e Edge) Reverse() Edge { return Edge{From: e.To, To: e.From, ForeignKey: e.ForeignKey} }
+
+// String renders the edge as "from -[fk]-> to".
+func (e Edge) String() string {
+	return fmt.Sprintf("%s -[%s]-> %s", e.From, e.ForeignKey, e.To)
+}
+
+// Graph is the tuple graph. It is immutable after Build.
+type Graph struct {
+	db        *relation.Database
+	adjacency map[relation.TupleID][]Edge
+	edgeCount int
+}
+
+// Build constructs the tuple graph of the database. Dangling references are
+// skipped (CheckIntegrity reports them); the graph only contains resolved
+// edges.
+func Build(db *relation.Database) *Graph {
+	g := &Graph{db: db, adjacency: make(map[relation.TupleID][]Edge)}
+	for _, t := range db.Tables() {
+		for _, fk := range t.Schema().ForeignKeys {
+			for _, tup := range t.Tuples() {
+				ref, ok := db.ReferencedTuple(tup, fk)
+				if !ok {
+					continue
+				}
+				e := Edge{From: tup.ID(), To: ref.ID(), ForeignKey: fk.Label()}
+				g.adjacency[e.From] = append(g.adjacency[e.From], e)
+				g.adjacency[e.To] = append(g.adjacency[e.To], e.Reverse())
+				g.edgeCount++
+			}
+		}
+	}
+	// Ensure isolated tuples still appear as nodes.
+	for _, t := range db.Tables() {
+		for _, tup := range t.Tuples() {
+			if _, ok := g.adjacency[tup.ID()]; !ok {
+				g.adjacency[tup.ID()] = nil
+			}
+		}
+	}
+	// Sort adjacency lists for deterministic traversal.
+	for id := range g.adjacency {
+		edges := g.adjacency[id]
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].To != edges[j].To {
+				return edges[i].To.Less(edges[j].To)
+			}
+			return edges[i].ForeignKey < edges[j].ForeignKey
+		})
+	}
+	return g
+}
+
+// Database returns the database the graph was built from.
+func (g *Graph) Database() *relation.Database { return g.db }
+
+// NodeCount returns the number of tuples in the graph.
+func (g *Graph) NodeCount() int { return len(g.adjacency) }
+
+// EdgeCount returns the number of (undirected) edges.
+func (g *Graph) EdgeCount() int { return g.edgeCount }
+
+// Has reports whether the tuple is a node of the graph.
+func (g *Graph) Has(id relation.TupleID) bool {
+	_, ok := g.adjacency[id]
+	return ok
+}
+
+// Neighbors returns the edges incident to the tuple, oriented away from it
+// and sorted by (other tuple, foreign key).
+func (g *Graph) Neighbors(id relation.TupleID) []Edge {
+	return g.adjacency[id]
+}
+
+// Degree returns the number of edges incident to the tuple.
+func (g *Graph) Degree(id relation.TupleID) int { return len(g.adjacency[id]) }
+
+// Nodes returns every tuple id, sorted, for deterministic iteration.
+func (g *Graph) Nodes() []relation.TupleID {
+	out := make([]relation.TupleID, 0, len(g.adjacency))
+	for id := range g.adjacency {
+		out = append(out, id)
+	}
+	relation.SortTupleIDs(out)
+	return out
+}
+
+// Tuple resolves a node to its tuple.
+func (g *Graph) Tuple(id relation.TupleID) (*relation.Tuple, bool) {
+	return g.db.Tuple(id)
+}
+
+// BFS traverses the graph breadth-first from the start node and returns the
+// hop distance of every reachable node.
+func (g *Graph) BFS(start relation.TupleID) map[relation.TupleID]int {
+	if !g.Has(start) {
+		return map[relation.TupleID]int{}
+	}
+	dist := map[relation.TupleID]int{start: 0}
+	queue := []relation.TupleID{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adjacency[cur] {
+			if _, seen := dist[e.To]; !seen {
+				dist[e.To] = dist[cur] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest path (as the sequence of traversed
+// edges) between two tuples, or false when they are not connected. Ties are
+// broken deterministically by the sorted adjacency order.
+func (g *Graph) ShortestPath(from, to relation.TupleID) ([]Edge, bool) {
+	if !g.Has(from) || !g.Has(to) {
+		return nil, false
+	}
+	if from == to {
+		return nil, true
+	}
+	prev := make(map[relation.TupleID]Edge)
+	seen := map[relation.TupleID]bool{from: true}
+	queue := []relation.TupleID{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adjacency[cur] {
+			if seen[e.To] {
+				continue
+			}
+			seen[e.To] = true
+			prev[e.To] = e
+			if e.To == to {
+				return reconstruct(prev, from, to), true
+			}
+			queue = append(queue, e.To)
+		}
+	}
+	return nil, false
+}
+
+func reconstruct(prev map[relation.TupleID]Edge, from, to relation.TupleID) []Edge {
+	var rev []Edge
+	cur := to
+	for cur != from {
+		e := prev[cur]
+		rev = append(rev, e)
+		cur = e.From
+	}
+	out := make([]Edge, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// ConnectedComponents returns the node sets of the connected components,
+// each sorted, ordered by their smallest member.
+func (g *Graph) ConnectedComponents() [][]relation.TupleID {
+	seen := make(map[relation.TupleID]bool, len(g.adjacency))
+	var comps [][]relation.TupleID
+	for _, id := range g.Nodes() {
+		if seen[id] {
+			continue
+		}
+		var comp []relation.TupleID
+		queue := []relation.TupleID{id}
+		seen[id] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			comp = append(comp, cur)
+			for _, e := range g.adjacency[cur] {
+				if !seen[e.To] {
+					seen[e.To] = true
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		relation.SortTupleIDs(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0].Less(comps[j][0]) })
+	return comps
+}

@@ -1,0 +1,152 @@
+package er
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// DeriveOptions tunes FromRelational.
+type DeriveOptions struct {
+	// OneToOneFKs lists foreign keys (as "relation.label") whose
+	// referencing side is known to be unique, so the derived relationship
+	// is 1:1 rather than 1:N. Keyword-search systems normally do not know
+	// this, which is why it is opt-in.
+	OneToOneFKs map[string]bool
+	// KeepJunctionAttributes controls whether non-key attributes of a
+	// junction relation become attributes of the derived N:M
+	// relationship. Defaults to true.
+	DropJunctionAttributes bool
+}
+
+// FromRelational derives the conceptual (ER-level) view of a relational
+// database schema, which is what a keyword-search system has to work with
+// when no explicit ER schema is available:
+//
+//   - every non-junction relation becomes an entity type (its primary key is
+//     the entity key);
+//   - every foreign key owned by a non-junction relation R referencing S
+//     becomes a relationship "S 1:N R" (the referenced side is the "one"
+//     side), or "S 1:1 R" when the FK is declared unique via options;
+//   - every junction relation (relation.Schema.IsJunction) with exactly two
+//     foreign keys to A and B becomes a relationship "A N:M B" whose
+//     attributes are the junction's non-key columns.
+//
+// Junction relations with more than two foreign keys (n-ary relationships)
+// are kept as entity types and their foreign keys derive 1:N relationships,
+// which is the standard reification. The returned Mapping records the
+// correspondence so that internal/core can translate tuple connections into
+// ER paths.
+func FromRelational(name string, schemas []*relation.Schema, opts *DeriveOptions) (*Schema, *Mapping, error) {
+	if opts == nil {
+		opts = &DeriveOptions{}
+	}
+	out := NewSchema(name)
+	mapping := newMapping()
+
+	byName := make(map[string]*relation.Schema, len(schemas))
+	for _, s := range schemas {
+		if _, dup := byName[s.Name]; dup {
+			return nil, nil, fmt.Errorf("er: duplicate relation %s", s.Name)
+		}
+		byName[s.Name] = s
+	}
+
+	isMiddle := func(s *relation.Schema) bool {
+		return s.IsJunction() && len(s.ForeignKeys) == 2
+	}
+
+	// Pass 1: entity types for every non-middle relation.
+	for _, s := range schemas {
+		if isMiddle(s) {
+			continue
+		}
+		e := &EntityType{Name: s.Name}
+		for _, c := range s.Columns {
+			e.Attributes = append(e.Attributes, Attribute{
+				Name:     c.Name,
+				Type:     c.Type,
+				Key:      s.IsPrimaryKeyColumn(c.Name),
+				Nullable: c.Nullable,
+			})
+		}
+		if err := out.AddEntity(e); err != nil {
+			return nil, nil, err
+		}
+		mapping.EntityRelation[e.Name] = s.Name
+		mapping.RelationEntity[s.Name] = e.Name
+	}
+
+	// Pass 2: relationships.
+	for _, s := range schemas {
+		if isMiddle(s) {
+			a := s.ForeignKeys[0]
+			b := s.ForeignKeys[1]
+			if _, ok := byName[a.RefRelation]; !ok {
+				return nil, nil, fmt.Errorf("er: junction %s references unknown relation %s", s.Name, a.RefRelation)
+			}
+			if _, ok := byName[b.RefRelation]; !ok {
+				return nil, nil, fmt.Errorf("er: junction %s references unknown relation %s", s.Name, b.RefRelation)
+			}
+			rel := &RelationshipType{
+				Name:           s.Name,
+				Source:         a.RefRelation,
+				Target:         b.RefRelation,
+				Cardinality:    ManyToMany,
+				MiddleRelation: s.Name,
+			}
+			if !opts.DropJunctionAttributes {
+				fkCols := make(map[string]bool)
+				for _, fk := range s.ForeignKeys {
+					for _, c := range fk.Columns {
+						fkCols[c] = true
+					}
+				}
+				for _, c := range s.Columns {
+					if !fkCols[c.Name] {
+						rel.Attributes = append(rel.Attributes, Attribute{Name: c.Name, Type: c.Type, Nullable: c.Nullable})
+					}
+				}
+			}
+			if err := out.AddRelationship(rel); err != nil {
+				return nil, nil, err
+			}
+			mapping.RelationshipMiddle[rel.Name] = s.Name
+			mapping.MiddleRelationship[s.Name] = rel.Name
+			mapping.addFK(rel.Name+"/src", s.Name, a.Label())
+			mapping.addFK(rel.Name+"/dst", s.Name, b.Label())
+			continue
+		}
+		for _, fk := range s.ForeignKeys {
+			if _, ok := byName[fk.RefRelation]; !ok {
+				return nil, nil, fmt.Errorf("er: %s foreign key %s references unknown relation %s", s.Name, fk.Label(), fk.RefRelation)
+			}
+			card := OneToMany // referenced side is the "one" side
+			if opts.OneToOneFKs[s.Name+"."+fk.Label()] {
+				card = OneToOne
+			}
+			relName := relationshipNameForFK(s.Name, fk)
+			rel := &RelationshipType{
+				Name:        relName,
+				Source:      fk.RefRelation,
+				Target:      s.Name,
+				Cardinality: card,
+			}
+			if err := out.AddRelationship(rel); err != nil {
+				return nil, nil, err
+			}
+			mapping.addFK(relName, s.Name, fk.Label())
+		}
+	}
+	return out, mapping, nil
+}
+
+// relationshipNameForFK derives a unique relationship name for a foreign key
+// of a non-junction relation.
+func relationshipNameForFK(owner string, fk relation.ForeignKey) string {
+	if fk.Name != "" {
+		return fk.Name
+	}
+	return strings.ToLower(owner) + "_" + strings.ToLower(fk.Label())
+}

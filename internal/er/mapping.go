@@ -1,0 +1,222 @@
+package er
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Mapping records how an ER schema was translated into a relational schema:
+// which relation implements which entity type, which foreign key or middle
+// relation implements which relationship type. The association analysis in
+// internal/core consumes it to lift tuple connections back to the ER level.
+type Mapping struct {
+	// EntityRelation maps entity-type name -> relation name.
+	EntityRelation map[string]string
+	// RelationEntity is the inverse of EntityRelation.
+	RelationEntity map[string]string
+	// RelationshipFK maps relationship name -> the implementing foreign
+	// key label and the relation that owns it (for 1:1, 1:N and N:1).
+	RelationshipFK map[string]ImplementedFK
+	// RelationshipMiddle maps relationship name -> middle relation name
+	// (for N:M).
+	RelationshipMiddle map[string]string
+	// MiddleRelationship is the inverse of RelationshipMiddle.
+	MiddleRelationship map[string]string
+	// FKRelationship maps "owner/fk-label" -> relationship name.
+	FKRelationship map[string]string
+}
+
+// ImplementedFK identifies a foreign key by its owning relation and label.
+type ImplementedFK struct {
+	Owner string
+	Label string
+}
+
+func newMapping() *Mapping {
+	return &Mapping{
+		EntityRelation:     make(map[string]string),
+		RelationEntity:     make(map[string]string),
+		RelationshipFK:     make(map[string]ImplementedFK),
+		RelationshipMiddle: make(map[string]string),
+		MiddleRelationship: make(map[string]string),
+		FKRelationship:     make(map[string]string),
+	}
+}
+
+func (m *Mapping) addFK(relName string, owner, label string) {
+	m.RelationshipFK[relName] = ImplementedFK{Owner: owner, Label: label}
+	m.FKRelationship[owner+"/"+label] = relName
+}
+
+// RelationshipForFK returns the relationship implemented by the foreign key
+// with the given owner relation and label, if any.
+func (m *Mapping) RelationshipForFK(owner, label string) (string, bool) {
+	name, ok := m.FKRelationship[owner+"/"+label]
+	return name, ok
+}
+
+// IsMiddleRelation reports whether the named relation implements an N:M
+// relationship (a junction/bridge relation).
+func (m *Mapping) IsMiddleRelation(name string) bool {
+	_, ok := m.MiddleRelationship[name]
+	return ok
+}
+
+// ToRelational translates the ER schema into relational schemas following
+// the textbook rules the paper relies on:
+//
+//   - every entity type becomes a relation whose primary key is the entity
+//     key;
+//   - every 1:N (or N:1, or 1:1) relationship is implemented by a foreign
+//     key placed on the relation of the "many" side (for 1:1, on the target
+//     side) referencing the "one" side;
+//   - every N:M relationship is implemented by a middle relation holding
+//     one foreign key per participant plus the relationship attributes,
+//     with the union of the foreign keys as primary key.
+//
+// It returns the relational schemas in deterministic order (entities in
+// declaration order, then middle relations in relationship order) together
+// with the Mapping that records the correspondence.
+func ToRelational(s *Schema) ([]*relation.Schema, *Mapping, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	mapping := newMapping()
+	// Collect per-relation columns and constraints before constructing,
+	// because foreign keys are added to entity relations by relationships.
+	builders := make(map[string]*building)
+	order := make([]string, 0, len(s.entityOrder))
+
+	for _, e := range s.Entities() {
+		relName := e.Name
+		b := &building{}
+		for _, a := range e.Attributes {
+			b.columns = append(b.columns, relation.Column{Name: a.Name, Type: a.Type, Nullable: a.Nullable && !a.Key})
+			if a.Key {
+				b.pk = append(b.pk, a.Name)
+			}
+		}
+		builders[relName] = b
+		order = append(order, relName)
+		mapping.EntityRelation[e.Name] = relName
+		mapping.RelationEntity[relName] = e.Name
+	}
+
+	middleOrder := make([]string, 0)
+	middleBuilders := make(map[string]*building)
+
+	for _, r := range s.Relationships() {
+		src, _ := s.Entity(r.Source)
+		dst, _ := s.Entity(r.Target)
+		switch r.Cardinality {
+		case ManyToMany:
+			middle := r.MiddleRelation
+			if middle == "" {
+				middle = r.Name
+			}
+			if _, dup := builders[middle]; dup {
+				return nil, nil, fmt.Errorf("er: middle relation %s collides with an entity relation", middle)
+			}
+			if _, dup := middleBuilders[middle]; dup {
+				return nil, nil, fmt.Errorf("er: middle relation %s used by two relationships", middle)
+			}
+			b := &building{}
+			srcCols, err := addReferenceColumns(b, src, r.SourceFKColumn, r.Name+"_"+src.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			dstCols, err := addReferenceColumns(b, dst, r.TargetFKColumn, r.Name+"_"+dst.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			b.pk = append(append([]string(nil), srcCols...), dstCols...)
+			for _, a := range r.Attributes {
+				b.columns = append(b.columns, relation.Column{Name: a.Name, Type: a.Type, Nullable: true})
+			}
+			b.fks = append(b.fks,
+				relation.ForeignKey{Name: r.Name + "_src", Columns: srcCols, RefRelation: src.Name, RefColumns: src.Key()},
+				relation.ForeignKey{Name: r.Name + "_dst", Columns: dstCols, RefRelation: dst.Name, RefColumns: dst.Key()},
+			)
+			middleBuilders[middle] = b
+			middleOrder = append(middleOrder, middle)
+			mapping.RelationshipMiddle[r.Name] = middle
+			mapping.MiddleRelationship[middle] = r.Name
+		default:
+			// Place the foreign key on the "many" side; for 1:1 on the target.
+			// The override used is the one naming the column that references
+			// the other (the "one") side.
+			ownerEntity, refEntity := dst, src
+			fkColOverride := r.SourceFKColumn
+			if r.Cardinality == ManyToOne {
+				ownerEntity, refEntity = src, dst
+				fkColOverride = r.TargetFKColumn
+			}
+			owner := builders[ownerEntity.Name]
+			cols, err := addReferenceColumns(owner, refEntity, fkColOverride, r.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			fk := relation.ForeignKey{Name: r.Name, Columns: cols, RefRelation: refEntity.Name, RefColumns: refEntity.Key()}
+			owner.fks = append(owner.fks, fk)
+			mapping.addFK(r.Name, ownerEntity.Name, fk.Label())
+		}
+	}
+
+	var out []*relation.Schema
+	for _, name := range order {
+		b := builders[name]
+		sch, err := relation.NewSchema(name, b.columns, b.pk, b.fks...)
+		if err != nil {
+			return nil, nil, fmt.Errorf("er: mapping entity %s: %w", name, err)
+		}
+		out = append(out, sch)
+	}
+	for _, name := range middleOrder {
+		b := middleBuilders[name]
+		sch, err := relation.NewSchema(name, b.columns, b.pk, b.fks...)
+		if err != nil {
+			return nil, nil, fmt.Errorf("er: mapping middle relation %s: %w", name, err)
+		}
+		out = append(out, sch)
+		relName := mapping.MiddleRelationship[name]
+		fks := sch.ForeignKeys
+		mapping.addFK(relName+"/src", name, fks[0].Label())
+		mapping.addFK(relName+"/dst", name, fks[1].Label())
+	}
+	return out, mapping, nil
+}
+
+// addReferenceColumns appends the columns that reference the key of the
+// given entity to the builder, returning their names. When the referenced
+// key has a single attribute and an override name is provided the override
+// is used; otherwise names are derived as "<prefix>_<key attribute>".
+func addReferenceColumns(b *building, ref *EntityType, override, prefix string) ([]string, error) {
+	key := ref.Key()
+	if len(key) == 0 {
+		return nil, fmt.Errorf("er: entity %s has no key", ref.Name)
+	}
+	if override != "" && len(key) > 1 {
+		return nil, fmt.Errorf("er: cannot use single override column %q for composite key of %s", override, ref.Name)
+	}
+	var cols []string
+	for _, k := range key {
+		name := override
+		if name == "" {
+			name = strings.ToUpper(prefix) + "_" + k
+		}
+		attr, _ := ref.Attribute(k)
+		b.columns = append(b.columns, relation.Column{Name: name, Type: attr.Type, Nullable: true})
+		cols = append(cols, name)
+	}
+	return cols, nil
+}
+
+// building accumulates the columns and constraints of one relational schema
+// while the ER mapping walks entity and relationship types.
+type building struct {
+	columns []relation.Column
+	pk      []string
+	fks     []relation.ForeignKey
+}

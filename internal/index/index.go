@@ -1,0 +1,190 @@
+package index
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Match is one tuple matching a keyword.
+type Match struct {
+	// Tuple identifies the matching tuple.
+	Tuple relation.TupleID
+	// Score is the TF-IDF content score of the match (sum over the
+	// keyword's terms).
+	Score float64
+	// Columns are the attribute names in which at least one of the
+	// keyword's terms occurs, sorted.
+	Columns []string
+}
+
+// posting records the occurrences of a term in one tuple.
+type posting struct {
+	tf      int
+	columns map[string]bool
+}
+
+// Index is an inverted index over the text attributes of a database.
+type Index struct {
+	db       *relation.Database
+	postings map[string]map[relation.TupleID]*posting
+	docLen   map[relation.TupleID]int
+	docCount int
+}
+
+// Build indexes every tuple of the database: all VARCHAR and TEXT attributes
+// that are not key or foreign-key columns (see relation.Schema.TextColumns)
+// are tokenized and added to the postings.
+func Build(db *relation.Database) *Index {
+	idx := &Index{
+		db:       db,
+		postings: make(map[string]map[relation.TupleID]*posting),
+		docLen:   make(map[relation.TupleID]int),
+	}
+	for _, t := range db.Tables() {
+		for _, tup := range t.Tuples() {
+			idx.docCount++
+			for column, text := range tup.AttributeText() {
+				for _, term := range Tokenize(text) {
+					idx.add(term, tup.ID(), column)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *Index) add(term string, id relation.TupleID, column string) {
+	byTuple := idx.postings[term]
+	if byTuple == nil {
+		byTuple = make(map[relation.TupleID]*posting)
+		idx.postings[term] = byTuple
+	}
+	p := byTuple[id]
+	if p == nil {
+		p = &posting{columns: make(map[string]bool)}
+		byTuple[id] = p
+	}
+	p.tf++
+	p.columns[column] = true
+	idx.docLen[id]++
+}
+
+// DocCount returns the number of indexed tuples.
+func (idx *Index) DocCount() int { return idx.docCount }
+
+// TermCount returns the number of distinct terms in the index.
+func (idx *Index) TermCount() int { return len(idx.postings) }
+
+// DocFrequency returns the number of tuples containing the term.
+func (idx *Index) DocFrequency(term string) int {
+	return len(idx.postings[strings.ToLower(term)])
+}
+
+// idf is the smoothed inverse document frequency of a term.
+func (idx *Index) idf(term string) float64 {
+	df := len(idx.postings[term])
+	if df == 0 {
+		return 0
+	}
+	return math.Log(1 + float64(idx.docCount)/float64(df))
+}
+
+// Match returns the tuples matching the keyword, sorted by descending score
+// then tuple id. A keyword that tokenizes into several terms matches tuples
+// containing all of them (conjunctive semantics). Unknown keywords return no
+// matches.
+func (idx *Index) Match(keyword string) []Match {
+	terms := Tokenize(keyword)
+	if len(terms) == 0 {
+		return nil
+	}
+	// Candidate tuples must contain the first term; intersect with the rest.
+	candidates := idx.postings[terms[0]]
+	if len(candidates) == 0 {
+		return nil
+	}
+	var out []Match
+	for id := range candidates {
+		score := 0.0
+		columns := make(map[string]bool)
+		ok := true
+		for _, term := range terms {
+			p := idx.postings[term][id]
+			if p == nil {
+				ok = false
+				break
+			}
+			score += (1 + math.Log(float64(p.tf))) * idx.idf(term)
+			for c := range p.columns {
+				columns[c] = true
+			}
+		}
+		if !ok {
+			continue
+		}
+		cols := make([]string, 0, len(columns))
+		for c := range columns {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		out = append(out, Match{Tuple: id, Score: score, Columns: cols})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Tuple.Less(out[j].Tuple)
+	})
+	return out
+}
+
+// MatchAll resolves every keyword of a query. The returned map is keyed by
+// the original keyword strings. Keywords with no match map to an empty
+// slice, letting callers decide between AND and OR semantics.
+func (idx *Index) MatchAll(keywords []string) map[string][]Match {
+	out := make(map[string][]Match, len(keywords))
+	for _, kw := range keywords {
+		out[kw] = idx.Match(kw)
+	}
+	return out
+}
+
+// KeywordTuples returns the set of tuples matching the keyword as a map.
+func (idx *Index) KeywordTuples(keyword string) map[relation.TupleID]bool {
+	matches := idx.Match(keyword)
+	out := make(map[relation.TupleID]bool, len(matches))
+	for _, m := range matches {
+		out[m.Tuple] = true
+	}
+	return out
+}
+
+// ContentScore returns the total TF-IDF score of the given tuple for the
+// query keywords; tuples that match no keyword score zero.
+func (idx *Index) ContentScore(id relation.TupleID, keywords []string) float64 {
+	score := 0.0
+	for _, kw := range keywords {
+		for _, term := range Tokenize(kw) {
+			p := idx.postings[term][id]
+			if p == nil {
+				continue
+			}
+			score += (1 + math.Log(float64(p.tf))) * idx.idf(term)
+		}
+	}
+	return score
+}
+
+// Vocabulary returns the indexed terms in sorted order; useful for workload
+// generators that need realistic query keywords.
+func (idx *Index) Vocabulary() []string {
+	out := make([]string, 0, len(idx.postings))
+	for t := range idx.postings {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

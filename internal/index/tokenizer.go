@@ -1,0 +1,44 @@
+// Package index implements the keyword-matching substrate: a tokenizer and
+// an inverted index over the text attributes of a relational database, with
+// TF-IDF content scores. Keyword queries are resolved to the tuples whose
+// text attributes contain the keywords, which is the first phase of every
+// search engine in this repository.
+package index
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits free text into lowercase terms. Letters and digits are
+// kept; everything else separates tokens. The tokenizer is intentionally
+// simple (no stemming, no stop words) so that keyword matches remain exact
+// and explainable, as in the paper's example where "XML" matches attribute
+// values containing the word XML.
+func Tokenize(text string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(unicode.ToLower(r))
+			continue
+		}
+		flush()
+	}
+	flush()
+	return tokens
+}
+
+// NormalizeKeyword normalizes a query keyword the same way document terms
+// are normalized. Multi-token keywords (e.g. "information retrieval") are
+// joined back with a single space; Index.Match requires all of their terms
+// to occur in the same tuple (conjunctive semantics).
+func NormalizeKeyword(keyword string) string {
+	return strings.Join(Tokenize(keyword), " ")
+}

@@ -1,0 +1,222 @@
+// Package paperdb contains the running example of the paper as executable
+// fixtures: the ER schema of Figure 1, the relational schema and database
+// instance of Figure 2, the display labels the paper uses for tuples
+// (d1, e1, p1, w_f1, t1, ...), and the keyword queries behind Tables 2 and 3.
+//
+// Naming note: the paper's Figure 2 prints the junction relation implementing
+// the WORKS_ON relationship under the heading "WORKS_FOR" (which collides
+// with the 1:N relationship of the same name in Figure 1). This package names
+// the relation WORKS_ON and keeps the paper's "w_f1".."w_f4" labels for its
+// tuples so that the reproduced Tables 2 and 3 read exactly like the paper.
+package paperdb
+
+import (
+	"fmt"
+
+	"repro/internal/er"
+	"repro/internal/relation"
+)
+
+// Keyword queries used by the paper's running example.
+var (
+	// QuerySmithXML is the query of Section 3 ("Smith XML"); connections
+	// 1-7 of Table 2 answer it.
+	QuerySmithXML = []string{"Smith", "XML"}
+	// QueryAliceXML produces connections 8-9 of Table 2 (the dependent
+	// Alice connected to the XML departments).
+	QueryAliceXML = []string{"Alice", "XML"}
+)
+
+// ERSchema returns the ER schema of Figure 1: DEPARTMENT, EMPLOYEE, PROJECT
+// and DEPENDENT with the WORKS_FOR (1:N), WORKS_ON (N:M), CONTROLS (1:N) and
+// DEPENDENTS_OF (1:N) relationships.
+func ERSchema() *er.Schema {
+	s := er.NewSchema("company")
+	s.MustAddEntity(&er.EntityType{Name: "DEPARTMENT", Attributes: []er.Attribute{
+		{Name: "ID", Type: relation.TypeString, Key: true},
+		{Name: "D_NAME", Type: relation.TypeString},
+		{Name: "D_DESCRIPTION", Type: relation.TypeText, Nullable: true},
+	}})
+	s.MustAddEntity(&er.EntityType{Name: "EMPLOYEE", Attributes: []er.Attribute{
+		{Name: "SSN", Type: relation.TypeString, Key: true},
+		{Name: "L_NAME", Type: relation.TypeString},
+		{Name: "S_NAME", Type: relation.TypeString},
+	}})
+	s.MustAddEntity(&er.EntityType{Name: "PROJECT", Attributes: []er.Attribute{
+		{Name: "ID", Type: relation.TypeString, Key: true},
+		{Name: "P_NAME", Type: relation.TypeString},
+		{Name: "P_DESCRIPTION", Type: relation.TypeText, Nullable: true},
+	}})
+	s.MustAddEntity(&er.EntityType{Name: "DEPENDENT", Attributes: []er.Attribute{
+		{Name: "ID", Type: relation.TypeString, Key: true},
+		{Name: "DEPENDENT_NAME", Type: relation.TypeString},
+	}})
+	s.MustAddRelationship(&er.RelationshipType{
+		Name: "WORKS_FOR", Source: "DEPARTMENT", Target: "EMPLOYEE", Cardinality: er.OneToMany,
+		SourceFKColumn: "D_ID",
+	})
+	s.MustAddRelationship(&er.RelationshipType{
+		Name: "CONTROLS", Source: "DEPARTMENT", Target: "PROJECT", Cardinality: er.OneToMany,
+		SourceFKColumn: "D_ID",
+	})
+	s.MustAddRelationship(&er.RelationshipType{
+		Name: "WORKS_ON", Source: "EMPLOYEE", Target: "PROJECT", Cardinality: er.ManyToMany,
+		SourceFKColumn: "ESSN", TargetFKColumn: "P_ID",
+		Attributes:     []er.Attribute{{Name: "HOURS", Type: relation.TypeInt, Nullable: true}},
+		MiddleRelation: "WORKS_ON",
+	})
+	s.MustAddRelationship(&er.RelationshipType{
+		Name: "DEPENDENTS_OF", Source: "EMPLOYEE", Target: "DEPENDENT", Cardinality: er.OneToMany,
+		SourceFKColumn: "ESSN",
+	})
+	return s
+}
+
+// Schemas returns the relational schemas of Figure 2: DEPARTMENT, PROJECT,
+// WORKS_ON (the junction the paper prints as "WORKS_FOR"), EMPLOYEE and
+// DEPENDENT, in the paper's figure order.
+func Schemas() []*relation.Schema {
+	department := relation.MustSchema("DEPARTMENT",
+		[]relation.Column{
+			{Name: "ID", Type: relation.TypeString},
+			{Name: "D_NAME", Type: relation.TypeString},
+			{Name: "D_DESCRIPTION", Type: relation.TypeText, Nullable: true},
+		},
+		[]string{"ID"})
+	project := relation.MustSchema("PROJECT",
+		[]relation.Column{
+			{Name: "ID", Type: relation.TypeString},
+			{Name: "D_ID", Type: relation.TypeString},
+			{Name: "P_NAME", Type: relation.TypeString},
+			{Name: "P_DESCRIPTION", Type: relation.TypeText, Nullable: true},
+		},
+		[]string{"ID"},
+		relation.ForeignKey{Name: "CONTROLS", Columns: []string{"D_ID"}, RefRelation: "DEPARTMENT", RefColumns: []string{"ID"}})
+	worksOn := relation.MustSchema("WORKS_ON",
+		[]relation.Column{
+			{Name: "ESSN", Type: relation.TypeString},
+			{Name: "P_ID", Type: relation.TypeString},
+			{Name: "HOURS", Type: relation.TypeInt, Nullable: true},
+		},
+		[]string{"ESSN", "P_ID"},
+		relation.ForeignKey{Name: "WORKS_ON_EMP", Columns: []string{"ESSN"}, RefRelation: "EMPLOYEE", RefColumns: []string{"SSN"}},
+		relation.ForeignKey{Name: "WORKS_ON_PROJ", Columns: []string{"P_ID"}, RefRelation: "PROJECT", RefColumns: []string{"ID"}})
+	employee := relation.MustSchema("EMPLOYEE",
+		[]relation.Column{
+			{Name: "SSN", Type: relation.TypeString},
+			{Name: "L_NAME", Type: relation.TypeString},
+			{Name: "S_NAME", Type: relation.TypeString},
+			{Name: "D_ID", Type: relation.TypeString},
+		},
+		[]string{"SSN"},
+		relation.ForeignKey{Name: "WORKS_FOR", Columns: []string{"D_ID"}, RefRelation: "DEPARTMENT", RefColumns: []string{"ID"}})
+	dependent := relation.MustSchema("DEPENDENT",
+		[]relation.Column{
+			{Name: "ID", Type: relation.TypeString},
+			{Name: "ESSN", Type: relation.TypeString},
+			{Name: "DEPENDENT_NAME", Type: relation.TypeString},
+		},
+		[]string{"ID"},
+		relation.ForeignKey{Name: "DEPENDENTS_OF", Columns: []string{"ESSN"}, RefRelation: "EMPLOYEE", RefColumns: []string{"SSN"}})
+	return []*relation.Schema{department, project, worksOn, employee, dependent}
+}
+
+// Load builds the Figure 2 database instance: 3 departments, 3 projects,
+// 4 employees, 4 WORKS_ON tuples and 2 dependents.
+func Load() (*relation.Database, error) {
+	db := relation.NewDatabase("company")
+	for _, s := range Schemas() {
+		if _, err := db.CreateTable(s); err != nil {
+			return nil, err
+		}
+	}
+	ins := func(table string, values map[string]relation.Value) error {
+		t, ok := db.Table(table)
+		if !ok {
+			return fmt.Errorf("paperdb: missing table %s", table)
+		}
+		_, err := t.Insert(values)
+		return err
+	}
+	str, txt, num := relation.String, relation.Text, relation.Int
+
+	rows := []struct {
+		table  string
+		values map[string]relation.Value
+	}{
+		{"DEPARTMENT", map[string]relation.Value{"ID": str("d1"), "D_NAME": str("Cs"),
+			"D_DESCRIPTION": txt("The main topics of teaching are programming, databases and XML.")}},
+		{"DEPARTMENT", map[string]relation.Value{"ID": str("d2"), "D_NAME": str("inf"),
+			"D_DESCRIPTION": txt("The main topics of teaching are information retrieval and XML.")}},
+		{"DEPARTMENT", map[string]relation.Value{"ID": str("d3"), "D_NAME": str("history"),
+			"D_DESCRIPTION": txt("The main topics of teaching are history of Scandinavian.")}},
+
+		{"PROJECT", map[string]relation.Value{"ID": str("p1"), "D_ID": str("d1"), "P_NAME": str("DB-project"),
+			"P_DESCRIPTION": txt("Different data models are integrated, such as relational, object and XML")}},
+		{"PROJECT", map[string]relation.Value{"ID": str("p2"), "D_ID": str("d2"), "P_NAME": str("XML and IR"),
+			"P_DESCRIPTION": txt("XML offers a notation for structured documents.")}},
+		{"PROJECT", map[string]relation.Value{"ID": str("p3"), "D_ID": str("d2"), "P_NAME": str("IR task"),
+			"P_DESCRIPTION": txt("Task based information retrieval")}},
+
+		{"EMPLOYEE", map[string]relation.Value{"SSN": str("e1"), "L_NAME": str("Smith"), "S_NAME": str("John"), "D_ID": str("d1")}},
+		{"EMPLOYEE", map[string]relation.Value{"SSN": str("e2"), "L_NAME": str("Smith"), "S_NAME": str("Barbara"), "D_ID": str("d2")}},
+		{"EMPLOYEE", map[string]relation.Value{"SSN": str("e3"), "L_NAME": str("Miller"), "S_NAME": str("Melina"), "D_ID": str("d1")}},
+		{"EMPLOYEE", map[string]relation.Value{"SSN": str("e4"), "L_NAME": str("Walker"), "S_NAME": str("John"), "D_ID": str("d2")}},
+
+		// The paper prints this relation as "WORKS_FOR"; its tuples are
+		// labelled w_f1..w_f4 in Tables 2 and 3, in this row order.
+		{"WORKS_ON", map[string]relation.Value{"ESSN": str("e1"), "P_ID": str("p1"), "HOURS": num(40)}},
+		{"WORKS_ON", map[string]relation.Value{"ESSN": str("e2"), "P_ID": str("p3"), "HOURS": num(56)}},
+		{"WORKS_ON", map[string]relation.Value{"ESSN": str("e3"), "P_ID": str("p2"), "HOURS": num(70)}},
+		{"WORKS_ON", map[string]relation.Value{"ESSN": str("e4"), "P_ID": str("p3"), "HOURS": num(60)}},
+
+		{"DEPENDENT", map[string]relation.Value{"ID": str("t1"), "ESSN": str("e3"), "DEPENDENT_NAME": str("Alice")}},
+		{"DEPENDENT", map[string]relation.Value{"ID": str("t2"), "ESSN": str("e3"), "DEPENDENT_NAME": str("Theodore")}},
+	}
+	for _, r := range rows {
+		if err := ins(r.table, r.values); err != nil {
+			return nil, err
+		}
+	}
+	if errs := db.CheckIntegrity(); len(errs) > 0 {
+		return nil, fmt.Errorf("paperdb: instance violates referential integrity: %v", errs[0])
+	}
+	return db, nil
+}
+
+// MustLoad is Load but panics on error; for examples and benchmarks.
+func MustLoad() *relation.Database {
+	db, err := Load()
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Conceptual derives the conceptual (ER-level) view of the Figure 2 schema,
+// which matches Figure 1 up to the junction-naming note in the package
+// comment.
+func Conceptual() (*er.Schema, *er.Mapping, error) {
+	return er.FromRelational("company", Schemas(), nil)
+}
+
+// DisplayLabel maps a tuple id to the label the paper uses in Tables 2-3:
+// entity tuples keep their key (d1, e1, p1, t1) and WORKS_ON tuples are
+// w_f1..w_f4 following the row order of Figure 2.
+func DisplayLabel(id relation.TupleID) string {
+	if id.Relation != "WORKS_ON" {
+		return id.Key
+	}
+	order := []string{
+		relation.EncodeKey([]relation.Value{relation.String("e1"), relation.String("p1")}),
+		relation.EncodeKey([]relation.Value{relation.String("e2"), relation.String("p3")}),
+		relation.EncodeKey([]relation.Value{relation.String("e3"), relation.String("p2")}),
+		relation.EncodeKey([]relation.Value{relation.String("e4"), relation.String("p3")}),
+	}
+	for i, key := range order {
+		if id.Key == key {
+			return fmt.Sprintf("w_f%d", i+1)
+		}
+	}
+	return id.String()
+}

@@ -1,0 +1,165 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteCSV writes the table as CSV with a header row of column names, rows
+// ordered by primary key for determinism.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().ColumnNames()); err != nil {
+		return fmt.Errorf("relation: write csv header for %s: %w", t.Name(), err)
+	}
+	for _, tup := range t.SortedTuples() {
+		row := make([]string, len(t.Schema().Columns))
+		for i, c := range t.Schema().Columns {
+			v := tup.Value(c.Name)
+			if v.IsNull() {
+				row[i] = ""
+			} else {
+				row[i] = v.String()
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("relation: write csv row for %s: %w", t.Name(), err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCSV reads CSV rows (header required) into the table. Header columns
+// must exist in the schema; missing schema columns load as NULL.
+func LoadCSV(r io.Reader, t *Table) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("relation: read csv header for %s: %w", t.Name(), err)
+	}
+	for _, h := range header {
+		if !t.Schema().HasColumn(strings.TrimSpace(h)) {
+			return 0, fmt.Errorf("relation: csv column %q not in schema %s", h, t.Name())
+		}
+	}
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, fmt.Errorf("relation: read csv row for %s: %w", t.Name(), err)
+		}
+		values := make(map[string]Value, len(rec))
+		for i, cell := range rec {
+			if i >= len(header) {
+				break
+			}
+			name := strings.TrimSpace(header[i])
+			col, _ := t.Schema().Column(name)
+			v, err := ParseValue(cell, col.Type)
+			if err != nil {
+				return n, fmt.Errorf("relation: %s row %d: %w", t.Name(), n+1, err)
+			}
+			values[name] = v
+		}
+		if _, err := t.Insert(values); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// DumpDatabase renders every table of the database as aligned text, one
+// block per relation in creation order; used by cmd/repro for Figure 2.
+func DumpDatabase(w io.Writer, db *Database) error {
+	for _, t := range db.Tables() {
+		if err := DumpTable(w, t); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpTable renders one table as an aligned text block with the relation
+// name, a header row and primary-key-ordered tuples.
+func DumpTable(w io.Writer, t *Table) error {
+	cols := t.Schema().ColumnNames()
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	rows := make([][]string, 0, t.Len())
+	for _, tup := range t.SortedTuples() {
+		row := make([]string, len(cols))
+		for i, c := range cols {
+			v := tup.Value(c)
+			if v.IsNull() {
+				row[i] = ""
+			} else {
+				row[i] = v.String()
+			}
+			if len(row[i]) > widths[i] {
+				widths[i] = len(row[i])
+			}
+		}
+		rows = append(rows, row)
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", t.Name()); err != nil {
+		return err
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		return err
+	}
+	if err := writeRow(cols); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// DumpStats renders database statistics as sorted "relation: count" lines.
+func DumpStats(w io.Writer, db *Database) error {
+	st := db.Stats()
+	names := make([]string, 0, len(st.PerRelation))
+	for n := range st.PerRelation {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if _, err := fmt.Fprintf(w, "relations=%d tuples=%d foreign_keys=%d junctions=%d\n",
+		st.Relations, st.Tuples, st.ForeignKeys, st.JunctionRels); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "  %s: %d\n", n, st.PerRelation[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

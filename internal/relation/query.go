@@ -1,0 +1,131 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Predicate filters tuples.
+type Predicate func(*Tuple) bool
+
+// And combines predicates conjunctively.
+func And(preds ...Predicate) Predicate {
+	return func(t *Tuple) bool {
+		for _, p := range preds {
+			if !p(t) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or combines predicates disjunctively.
+func Or(preds ...Predicate) Predicate {
+	return func(t *Tuple) bool {
+		for _, p := range preds {
+			if p(t) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// ColumnEquals matches tuples whose named column equals the value.
+func ColumnEquals(column string, v Value) Predicate {
+	return func(t *Tuple) bool { return t.Value(column).Equal(v) }
+}
+
+// ColumnContains matches tuples whose named textual column contains the
+// substring, case-insensitively.
+func ColumnContains(column, substring string) Predicate {
+	needle := strings.ToLower(substring)
+	return func(t *Tuple) bool {
+		v := t.Value(column)
+		if !v.Type().IsTextual() {
+			return false
+		}
+		return strings.Contains(strings.ToLower(v.AsString()), needle)
+	}
+}
+
+// JoinedPair is one row of a foreign-key join: the referencing tuple and the
+// referenced tuple it points at.
+type JoinedPair struct {
+	Referencing *Tuple
+	Referenced  *Tuple
+	ForeignKey  ForeignKey
+}
+
+// JoinOnForeignKey computes the equi-join induced by the foreign key owned
+// by relation `owner`: every tuple of owner whose fk resolves is paired with
+// the tuple it references. Rows appear in owner insertion order.
+func JoinOnForeignKey(db *Database, owner string, fk ForeignKey) ([]JoinedPair, error) {
+	t, ok := db.Table(owner)
+	if !ok {
+		return nil, fmt.Errorf("relation: unknown relation %s", owner)
+	}
+	found := false
+	for _, have := range t.Schema().ForeignKeys {
+		if have.Label() == fk.Label() {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("relation: %s does not own foreign key %s", owner, fk.Label())
+	}
+	var out []JoinedPair
+	for _, tup := range t.Tuples() {
+		ref, ok := db.ReferencedTuple(tup, fk)
+		if !ok {
+			continue
+		}
+		out = append(out, JoinedPair{Referencing: tup, Referenced: ref, ForeignKey: fk})
+	}
+	return out, nil
+}
+
+// Project returns, for each tuple, the values of the requested columns in
+// request order.
+func Project(tuples []*Tuple, columns ...string) [][]Value {
+	out := make([][]Value, len(tuples))
+	for i, t := range tuples {
+		row := make([]Value, len(columns))
+		for j, c := range columns {
+			row[j] = t.Value(c)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// CountBy groups the tuples by the rendering of the named column and counts
+// group sizes; used for instance-level cardinality statistics.
+func CountBy(tuples []*Tuple, column string) map[string]int {
+	out := make(map[string]int)
+	for _, t := range tuples {
+		out[t.Value(column).String()]++
+	}
+	return out
+}
+
+// Distinct returns the distinct renderings of the named column across the
+// tuples, sorted.
+func Distinct(tuples []*Tuple, column string) []string {
+	set := make(map[string]bool)
+	for _, t := range tuples {
+		v := t.Value(column)
+		if !v.IsNull() {
+			set[v.String()] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,157 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func populatedCompanyDB(t *testing.T) *Database {
+	t.Helper()
+	db := newCompanyDB(t)
+	dept, _ := db.Table("DEPARTMENT")
+	proj, _ := db.Table("PROJECT")
+	emp, _ := db.Table("EMPLOYEE")
+	won, _ := db.Table("WORKS_ON")
+	dep, _ := db.Table("DEPENDENT")
+	must := func(_ *Tuple, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(dept.InsertRow(String("d1"), String("cs"), Text("programming, databases and XML")))
+	must(dept.InsertRow(String("d2"), String("inf"), Text("information retrieval and XML")))
+	must(proj.InsertRow(String("p1"), String("d1"), String("DB-project"), Text("relational, object and XML")))
+	must(proj.InsertRow(String("p2"), String("d2"), String("XML and IR"), Text("XML offers a notation")))
+	must(emp.InsertRow(String("e1"), String("Smith"), String("John"), String("d1")))
+	must(emp.InsertRow(String("e2"), String("Smith"), String("Barbara"), String("d2")))
+	must(won.InsertRow(String("e1"), String("p1"), Int(40)))
+	must(won.InsertRow(String("e2"), String("p2"), Int(70)))
+	must(dep.InsertRow(String("t1"), String("e1"), String("Alice")))
+	return db
+}
+
+func TestPredicateCombinators(t *testing.T) {
+	db := populatedCompanyDB(t)
+	emp, _ := db.Table("EMPLOYEE")
+	smiths := emp.Select(ColumnEquals("L_NAME", String("Smith")))
+	if len(smiths) != 2 {
+		t.Errorf("Smiths = %d", len(smiths))
+	}
+	johnSmith := emp.Select(And(
+		ColumnEquals("L_NAME", String("Smith")),
+		ColumnEquals("S_NAME", String("John"))))
+	if len(johnSmith) != 1 || johnSmith[0].ID().Key != "e1" {
+		t.Errorf("John Smith = %v", johnSmith)
+	}
+	either := emp.Select(Or(
+		ColumnEquals("S_NAME", String("John")),
+		ColumnEquals("S_NAME", String("Barbara"))))
+	if len(either) != 2 {
+		t.Errorf("Or select = %d", len(either))
+	}
+}
+
+func TestColumnContains(t *testing.T) {
+	db := populatedCompanyDB(t)
+	dept, _ := db.Table("DEPARTMENT")
+	xml := dept.Select(ColumnContains("D_DESCRIPTION", "xml"))
+	if len(xml) != 2 {
+		t.Errorf("XML departments = %d", len(xml))
+	}
+	none := dept.Select(ColumnContains("D_DESCRIPTION", "astronomy"))
+	if len(none) != 0 {
+		t.Errorf("astronomy departments = %d", len(none))
+	}
+	// Non-textual column never matches.
+	won, _ := db.Table("WORKS_ON")
+	if got := won.Select(ColumnContains("HOURS", "4")); len(got) != 0 {
+		t.Errorf("contains on numeric column = %d", len(got))
+	}
+}
+
+func TestJoinOnForeignKey(t *testing.T) {
+	db := populatedCompanyDB(t)
+	emp, _ := db.Table("EMPLOYEE")
+	fk := emp.Schema().ForeignKeys[0]
+	pairs, err := JoinOnForeignKey(db, "EMPLOYEE", fk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("join pairs = %d", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.Referencing.Value("D_ID").AsString() != p.Referenced.Value("ID").AsString() {
+			t.Errorf("join mismatch: %v -> %v", p.Referencing, p.Referenced)
+		}
+	}
+	if _, err := JoinOnForeignKey(db, "NOPE", fk); err == nil {
+		t.Error("join on unknown relation should fail")
+	}
+	other := ForeignKey{Columns: []string{"D_ID"}, RefRelation: "PROJECT", RefColumns: []string{"ID"}}
+	if _, err := JoinOnForeignKey(db, "EMPLOYEE", other); err == nil {
+		t.Error("join on foreign key not owned by relation should fail")
+	}
+}
+
+func TestProjectCountByDistinct(t *testing.T) {
+	db := populatedCompanyDB(t)
+	emp, _ := db.Table("EMPLOYEE")
+	rows := Project(emp.Tuples(), "S_NAME", "L_NAME")
+	if len(rows) != 2 || rows[0][0].AsString() != "John" || rows[0][1].AsString() != "Smith" {
+		t.Errorf("Project = %v", rows)
+	}
+	counts := CountBy(emp.Tuples(), "L_NAME")
+	if counts["Smith"] != 2 {
+		t.Errorf("CountBy = %v", counts)
+	}
+	dist := Distinct(emp.Tuples(), "L_NAME")
+	if len(dist) != 1 || dist[0] != "Smith" {
+		t.Errorf("Distinct = %v", dist)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := populatedCompanyDB(t)
+	emp, _ := db.Table("EMPLOYEE")
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, emp); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "SSN,L_NAME,S_NAME,D_ID") {
+		t.Errorf("CSV header = %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	// Load back into a fresh table.
+	fresh := NewTable(emp.Schema().Clone())
+	n, err := LoadCSV(strings.NewReader(out), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || fresh.Len() != 2 {
+		t.Errorf("LoadCSV loaded %d rows", n)
+	}
+	got, ok := fresh.ByPrimaryKey("e2")
+	if !ok || got.Value("S_NAME").AsString() != "Barbara" {
+		t.Errorf("round-tripped tuple = %v", got)
+	}
+}
+
+func TestLoadCSVRejectsUnknownColumn(t *testing.T) {
+	tab := NewTable(deptSchema())
+	_, err := LoadCSV(strings.NewReader("ID,NOPE\n1,2\n"), tab)
+	if err == nil {
+		t.Error("LoadCSV should reject unknown header column")
+	}
+}
+
+func TestLoadCSVRejectsBadValue(t *testing.T) {
+	s := MustSchema("R", []Column{{Name: "ID", Type: TypeInt}}, []string{"ID"})
+	tab := NewTable(s)
+	_, err := LoadCSV(strings.NewReader("ID\nabc\n"), tab)
+	if err == nil {
+		t.Error("LoadCSV should reject non-integer value for INTEGER column")
+	}
+}

@@ -1,0 +1,306 @@
+// Package banks implements a BANKS-style baseline (Bhalotia et al., VLDB
+// 2002): backward expanding search over the tuple graph. Every keyword
+// spawns a multi-source breadth-first expansion from its matching tuples;
+// a tuple reached by the expansions of all keywords becomes the root of an
+// answer tree assembled from the shortest paths back to the nearest match of
+// each keyword. Trees are ranked by their total number of edges (smaller is
+// better), which is the length-based ranking the paper critiques.
+package banks
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datagraph"
+	"repro/internal/index"
+	"repro/internal/relation"
+)
+
+// Options configure the engine.
+type Options struct {
+	// MaxDepth bounds each keyword expansion, in joins. The default is 5.
+	MaxDepth int
+	// MaxResults caps the number of answer trees (0 means 10).
+	MaxResults int
+}
+
+// DefaultOptions returns the options used when none are supplied.
+func DefaultOptions() Options { return Options{MaxDepth: 5, MaxResults: 10} }
+
+// Tree is one BANKS answer: a root tuple and, for every keyword, the
+// shortest path from the root to the nearest tuple matching it.
+type Tree struct {
+	// Root is the connecting tuple from which all keyword paths start.
+	Root relation.TupleID
+	// Nodes are the distinct tuples of the tree, sorted.
+	Nodes []relation.TupleID
+	// Edges are the distinct edges of the tree.
+	Edges []datagraph.Edge
+	// KeywordPaths maps each keyword to the root-to-match path.
+	KeywordPaths map[string]core.Connection
+	// Matches maps each tuple of the tree to the keywords it matches.
+	Matches map[relation.TupleID][]string
+	// Weight is the number of distinct edges (the ranking score; lower is
+	// better).
+	Weight int
+}
+
+// AsConnection flattens a two-keyword tree into a single connection from one
+// keyword match to the other through the root, when the two paths only share
+// the root (which makes the tree a simple path). The second return is false
+// otherwise.
+func (t Tree) AsConnection() (core.Connection, bool) {
+	if len(t.KeywordPaths) != 2 {
+		return core.Connection{}, false
+	}
+	kws := make([]string, 0, 2)
+	for kw := range t.KeywordPaths {
+		kws = append(kws, kw)
+	}
+	sort.Strings(kws)
+	a, b := t.KeywordPaths[kws[0]], t.KeywordPaths[kws[1]]
+	shared := make(map[relation.TupleID]bool)
+	for _, n := range a.Tuples {
+		shared[n] = true
+	}
+	for _, n := range b.Tuples[1:] {
+		if shared[n] {
+			return core.Connection{}, false
+		}
+	}
+	// Reverse path a (match -> root) then append path b (root -> match).
+	rev := a.Reverse()
+	edges := append(append([]datagraph.Edge(nil), rev.Edges...), b.Edges...)
+	c, err := core.NewConnection(rev.Start(), edges)
+	if err != nil {
+		return core.Connection{}, false
+	}
+	return c, true
+}
+
+// Signature identifies the tree by its sorted node set; used to deduplicate
+// answers with identical content but different roots.
+func (t Tree) Signature() string {
+	parts := make([]string, len(t.Nodes))
+	for i, n := range t.Nodes {
+		parts[i] = n.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+// Engine runs backward expanding search over a database.
+type Engine struct {
+	db    *relation.Database
+	graph *datagraph.Graph
+	index *index.Index
+	opts  Options
+}
+
+// New builds an engine over the database.
+func New(db *relation.Database, opts Options) (*Engine, error) {
+	if db == nil {
+		return nil, fmt.Errorf("banks: nil database")
+	}
+	applyDefaults(&opts)
+	return &Engine{db: db, graph: datagraph.Build(db), index: index.Build(db), opts: opts}, nil
+}
+
+// NewWithComponents builds an engine from pre-built components.
+func NewWithComponents(db *relation.Database, g *datagraph.Graph, idx *index.Index, opts Options) (*Engine, error) {
+	if db == nil || g == nil || idx == nil {
+		return nil, fmt.Errorf("banks: nil component")
+	}
+	applyDefaults(&opts)
+	return &Engine{db: db, graph: g, index: idx, opts: opts}, nil
+}
+
+func applyDefaults(opts *Options) {
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = DefaultOptions().MaxDepth
+	}
+	if opts.MaxResults <= 0 {
+		opts.MaxResults = DefaultOptions().MaxResults
+	}
+}
+
+// expansion is the result of one keyword's multi-source BFS: the hop
+// distance of every reached tuple and the edge leading one hop back towards
+// the nearest keyword match.
+type expansion struct {
+	dist map[relation.TupleID]int
+	back map[relation.TupleID]datagraph.Edge
+}
+
+func (e *Engine) expand(matches []relation.TupleID) expansion {
+	ex := expansion{
+		dist: make(map[relation.TupleID]int),
+		back: make(map[relation.TupleID]datagraph.Edge),
+	}
+	queue := make([]relation.TupleID, 0, len(matches))
+	for _, m := range matches {
+		ex.dist[m] = 0
+		queue = append(queue, m)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if ex.dist[cur] >= e.opts.MaxDepth {
+			continue
+		}
+		for _, edge := range e.graph.Neighbors(cur) {
+			if _, seen := ex.dist[edge.To]; seen {
+				continue
+			}
+			ex.dist[edge.To] = ex.dist[cur] + 1
+			// The back edge points from the newly reached tuple towards
+			// the keyword match.
+			ex.back[edge.To] = edge.Reverse()
+			queue = append(queue, edge.To)
+		}
+	}
+	return ex
+}
+
+// pathToMatch follows the back pointers of an expansion from the root down
+// to the keyword match it was reached from.
+func pathToMatch(ex expansion, root relation.TupleID) ([]datagraph.Edge, relation.TupleID) {
+	var edges []datagraph.Edge
+	cur := root
+	for ex.dist[cur] > 0 {
+		e := ex.back[cur]
+		edges = append(edges, e)
+		cur = e.To
+	}
+	return edges, cur
+}
+
+// Search runs the backward expanding search and returns up to MaxResults
+// answer trees ordered by ascending weight, then by signature.
+func (e *Engine) Search(keywords []string) ([]Tree, error) {
+	if len(keywords) == 0 {
+		return nil, fmt.Errorf("banks: empty keyword query")
+	}
+	matches := make(map[string][]relation.TupleID, len(keywords))
+	tupleKeywords := make(map[relation.TupleID][]string)
+	for _, kw := range keywords {
+		set := e.index.KeywordTuples(kw)
+		if len(set) == 0 {
+			return nil, fmt.Errorf("banks: keyword %q matches no tuple", kw)
+		}
+		ids := make([]relation.TupleID, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+			tupleKeywords[id] = append(tupleKeywords[id], kw)
+		}
+		relation.SortTupleIDs(ids)
+		matches[kw] = ids
+	}
+	for _, kws := range tupleKeywords {
+		sort.Strings(kws)
+	}
+
+	expansions := make(map[string]expansion, len(keywords))
+	for kw, ids := range matches {
+		expansions[kw] = e.expand(ids)
+	}
+
+	// Candidate roots: tuples reached by every keyword's expansion.
+	type scored struct {
+		root   relation.TupleID
+		weight int
+	}
+	var roots []scored
+	for _, root := range e.graph.Nodes() {
+		total := 0
+		ok := true
+		for _, kw := range keywords {
+			d, reached := expansions[kw].dist[root]
+			if !reached {
+				ok = false
+				break
+			}
+			total += d
+		}
+		if ok {
+			roots = append(roots, scored{root: root, weight: total})
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if roots[i].weight != roots[j].weight {
+			return roots[i].weight < roots[j].weight
+		}
+		return roots[i].root.Less(roots[j].root)
+	})
+
+	// Build a tree per candidate root, deduplicate by content, and order by
+	// the actual tree weight (shared edges between keyword paths can make a
+	// tree lighter than its root's distance sum suggests).
+	var out []Tree
+	seen := make(map[string]bool)
+	for _, cand := range roots {
+		tree := e.buildTree(cand.root, keywords, expansions, tupleKeywords)
+		if seen[tree.Signature()] {
+			continue
+		}
+		seen[tree.Signature()] = true
+		out = append(out, tree)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight < out[j].Weight
+		}
+		return out[i].Signature() < out[j].Signature()
+	})
+	if len(out) > e.opts.MaxResults {
+		out = out[:e.opts.MaxResults]
+	}
+	return out, nil
+}
+
+func (e *Engine) buildTree(root relation.TupleID, keywords []string, expansions map[string]expansion, tupleKeywords map[relation.TupleID][]string) Tree {
+	t := Tree{
+		Root:         root,
+		KeywordPaths: make(map[string]core.Connection, len(keywords)),
+		Matches:      make(map[relation.TupleID][]string),
+	}
+	nodeSet := map[relation.TupleID]bool{root: true}
+	edgeSet := make(map[string]datagraph.Edge)
+	for _, kw := range keywords {
+		edges, _ := pathToMatch(expansions[kw], root)
+		c, err := core.NewConnection(root, edges)
+		if err != nil {
+			continue
+		}
+		t.KeywordPaths[kw] = c
+		for _, n := range c.Tuples {
+			nodeSet[n] = true
+		}
+		for _, ed := range edges {
+			key := ed.From.String() + ">" + ed.To.String()
+			rev := ed.To.String() + ">" + ed.From.String()
+			if _, dup := edgeSet[rev]; dup {
+				continue
+			}
+			edgeSet[key] = ed
+		}
+	}
+	for n := range nodeSet {
+		t.Nodes = append(t.Nodes, n)
+		if kws := tupleKeywords[n]; len(kws) > 0 {
+			t.Matches[n] = append([]string(nil), kws...)
+		}
+	}
+	relation.SortTupleIDs(t.Nodes)
+	keys := make([]string, 0, len(edgeSet))
+	for k := range edgeSet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.Edges = append(t.Edges, edgeSet[k])
+	}
+	t.Weight = len(t.Edges)
+	return t
+}

@@ -1,0 +1,263 @@
+package mtjnt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagraph"
+	"repro/internal/index"
+	"repro/internal/paperdb"
+	"repro/internal/relation"
+)
+
+func id(rel, key string) relation.TupleID { return relation.TupleID{Relation: rel, Key: key} }
+
+func newEngine(t testing.TB, opts Options) *Engine {
+	t.Helper()
+	e, err := New(paperdb.MustLoad(), opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e
+}
+
+func formatted(nets []Network) []string {
+	out := make([]string, len(nets))
+	for i, n := range nets {
+		out[i] = n.Connection.Format(paperdb.DisplayLabel, n.Matches)
+	}
+	return out
+}
+
+func reverseFormat(s string) string {
+	parts := strings.Split(s, " - ")
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, " - ")
+}
+
+func contains(got []string, want string) bool {
+	for _, g := range got {
+		if g == want || g == reverseFormat(want) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSearchSmithXMLLosesLongConnections reproduces the paper's central
+// observation: under the MTJNT principle the query "Smith XML" only returns
+// the minimal networks (connections 1, 2 and 5 plus the symmetric p2/e2 and
+// p1/e2-style minimal pairs), while connections 3, 4, 6 and 7 are lost.
+func TestSearchSmithXMLLosesLongConnections(t *testing.T) {
+	e := newEngine(t, Options{MaxEdges: 3})
+	nets, err := e.Search(paperdb.QuerySmithXML)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	got := formatted(nets)
+
+	for _, want := range []string{
+		"d1(XML) - e1(Smith)",        // connection 1
+		"p1(XML) - w_f1 - e1(Smith)", // connection 2
+		"d2(XML) - e2(Smith)",        // connection 5
+	} {
+		if !contains(got, want) {
+			t.Errorf("MTJNT results missing %q:\n%s", want, strings.Join(got, "\n"))
+		}
+	}
+	for _, lost := range []string{
+		"p1(XML) - d1(XML) - e1(Smith)",        // connection 3
+		"d1(XML) - p1(XML) - w_f1 - e1(Smith)", // connection 4
+		"p2(XML) - d2(XML) - e2(Smith)",        // connection 6
+		"d2(XML) - p3 - w_f2 - e2(Smith)",      // connection 7
+	} {
+		if contains(got, lost) {
+			t.Errorf("MTJNT should lose %q but returned it", lost)
+		}
+	}
+}
+
+func TestIsMinimalTotalPredicates(t *testing.T) {
+	db := paperdb.MustLoad()
+	g := datagraph.Build(db)
+	idx := index.Build(db)
+	keywords := paperdb.QuerySmithXML
+	keywordTuples := map[string]map[relation.TupleID]bool{
+		"Smith": idx.KeywordTuples("Smith"),
+		"XML":   idx.KeywordTuples("XML"),
+	}
+
+	conn := func(ids ...relation.TupleID) core.Connection {
+		t.Helper()
+		var edges []core.Connection
+		_ = edges
+		c, err := core.NewConnection(ids[0], pathEdges(t, g, ids))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	d1e1 := conn(id("DEPARTMENT", "d1"), id("EMPLOYEE", "e1"))
+	if !IsMinimalTotal(g, d1e1, keywordTuples, keywords) {
+		t.Error("connection 1 should be an MTJNT")
+	}
+	p1we1 := conn(id("PROJECT", "p1"), id("WORKS_ON", relation.EncodeKey([]relation.Value{relation.String("e1"), relation.String("p1")})), id("EMPLOYEE", "e1"))
+	if !IsMinimalTotal(g, p1we1, keywordTuples, keywords) {
+		t.Error("connection 2 should be an MTJNT (the junction tuple is required for joining)")
+	}
+	p1d1e1 := conn(id("PROJECT", "p1"), id("DEPARTMENT", "d1"), id("EMPLOYEE", "e1"))
+	if IsMinimalTotal(g, p1d1e1, keywordTuples, keywords) {
+		t.Error("connection 3 should not be minimal (removing p1 keeps totality)")
+	}
+	if !IsTotal(p1d1e1.Tuples, keywordTuples, keywords) {
+		t.Error("connection 3 is still total")
+	}
+	// Connection 7: removing the interior project p3 leaves a set that is
+	// still joinable through the direct works-for edge, so it is not minimal.
+	conn7 := conn(id("DEPARTMENT", "d2"), id("PROJECT", "p3"),
+		id("WORKS_ON", relation.EncodeKey([]relation.Value{relation.String("e2"), relation.String("p3")})), id("EMPLOYEE", "e2"))
+	if IsMinimalTotal(g, conn7, keywordTuples, keywords) {
+		t.Error("connection 7 should not be minimal")
+	}
+	// A connection that misses a keyword entirely is not total.
+	d1e3 := conn(id("DEPARTMENT", "d1"), id("EMPLOYEE", "e3"))
+	if IsTotal(d1e3.Tuples, keywordTuples, keywords) {
+		t.Error("d1-e3 does not contain Smith")
+	}
+	if IsMinimalTotal(g, d1e3, keywordTuples, keywords) {
+		t.Error("non-total connection cannot be an MTJNT")
+	}
+	// The empty connection is rejected.
+	if IsMinimalTotal(g, core.Connection{}, keywordTuples, keywords) {
+		t.Error("empty connection cannot be an MTJNT")
+	}
+}
+
+// pathEdges resolves consecutive tuple pairs to data-graph edges.
+func pathEdges(t testing.TB, g *datagraph.Graph, ids []relation.TupleID) []datagraph.Edge {
+	t.Helper()
+	var edges []datagraph.Edge
+	for i := 0; i+1 < len(ids); i++ {
+		found := false
+		for _, e := range g.Neighbors(ids[i]) {
+			if e.To == ids[i+1] {
+				edges = append(edges, e)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no edge between %v and %v", ids[i], ids[i+1])
+		}
+	}
+	return edges
+}
+
+func TestSearchSingleTupleNetwork(t *testing.T) {
+	e := newEngine(t, Options{MaxEdges: 3})
+	// Both keywords occur in d2's description.
+	nets, err := e.Search([]string{"information", "XML"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range nets {
+		if n.Connection.RDBLength() == 0 && n.Connection.Start() == id("DEPARTMENT", "d2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("single-tuple MTJNT missing")
+	}
+}
+
+func TestSearchOrderingAndLimits(t *testing.T) {
+	e := newEngine(t, Options{MaxEdges: 3, MaxResults: 2})
+	nets, err := e.Search(paperdb.QuerySmithXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) != 2 {
+		t.Errorf("MaxResults not applied: %d", len(nets))
+	}
+	for i := 1; i < len(nets); i++ {
+		if nets[i-1].Connection.RDBLength() > nets[i].Connection.RDBLength() {
+			t.Error("networks not ordered by size")
+		}
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	e := newEngine(t, Options{})
+	if _, err := e.Search(nil); err == nil {
+		t.Error("empty query should fail")
+	}
+	if _, err := e.Search([]string{"Smith", "blockchain"}); err == nil {
+		t.Error("keyword without matches should fail (MTJNT requires totality)")
+	}
+	if _, err := New(nil, Options{}); err == nil {
+		t.Error("New(nil) should fail")
+	}
+	if _, err := NewWithComponents(nil, nil, nil, Options{}); err == nil {
+		t.Error("NewWithComponents with nils should fail")
+	}
+}
+
+func TestCandidateNetworks(t *testing.T) {
+	e := newEngine(t, Options{MaxEdges: 3})
+	cns, err := e.CandidateNetworks(paperdb.QuerySmithXML, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cns) == 0 {
+		t.Fatal("no candidate networks generated")
+	}
+	var rendered []string
+	for _, cn := range cns {
+		rendered = append(rendered, cn.String())
+	}
+	joined := strings.Join(rendered, "\n")
+	// DEPARTMENT-EMPLOYEE (connection 1/5 shape) and
+	// PROJECT-WORKS_ON-EMPLOYEE (connection 2 shape) must be present.
+	for _, want := range []string{"DEPARTMENT-EMPLOYEE", "PROJECT-WORKS_ON-EMPLOYEE"} {
+		found := false
+		for _, r := range rendered {
+			if r == want || r == reverseDashed(want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("candidate networks missing %s:\n%s", want, joined)
+		}
+	}
+	// Ordered by size.
+	for i := 1; i < len(cns); i++ {
+		if len(cns[i-1].Relations) > len(cns[i].Relations) {
+			t.Error("candidate networks not ordered by size")
+		}
+	}
+	// No duplicates up to reversal.
+	seen := make(map[string]bool)
+	for _, cn := range cns {
+		key := cn.String()
+		if seen[key] || seen[reverseDashed(key)] {
+			t.Errorf("duplicate candidate network %s", key)
+		}
+		seen[key] = true
+	}
+	if _, err := e.CandidateNetworks(nil, 3); err == nil {
+		t.Error("empty query should fail")
+	}
+}
+
+func reverseDashed(s string) string {
+	parts := strings.Split(s, "-")
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, "-")
+}

@@ -1,0 +1,286 @@
+// Package paths implements the connection-enumeration keyword-search engine
+// the paper argues for: instead of returning only minimal joining networks,
+// it enumerates every simple connection (join path) between tuples matching
+// different keywords up to a join budget, so that longer, information-richer
+// connections such as the paper's connections 3, 4, 6 and 7 are preserved
+// and can be ranked by their conceptual length and closeness.
+package paths
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/datagraph"
+	"repro/internal/index"
+	"repro/internal/relation"
+)
+
+// Options configure the engine.
+type Options struct {
+	// MaxEdges is the maximum number of joins in a connection (the Tmax
+	// budget). The default is 5.
+	MaxEdges int
+	// RequireAllKeywords demands that every query keyword is matched by at
+	// least one tuple of the connection (AND semantics). When false, a
+	// connection covering at least two distinct keywords (or one, for
+	// single-keyword queries) is returned (OR semantics).
+	RequireAllKeywords bool
+	// MaxResults caps the number of answers (0 = unlimited). Answers are
+	// cut after deterministic ordering by ascending RDB length.
+	MaxResults int
+	// InstanceCorroboration enables the instance-level corroboration
+	// analysis of every answer (slightly more expensive).
+	InstanceCorroboration bool
+}
+
+// DefaultOptions returns the options used when none are supplied.
+func DefaultOptions() Options {
+	return Options{MaxEdges: 5, RequireAllKeywords: true, InstanceCorroboration: true}
+}
+
+// Answer is one result of the engine: a connection, its association
+// analysis, the keywords matched by each of its tuples and its total
+// content score.
+type Answer struct {
+	Connection   core.Connection
+	Analysis     core.Analysis
+	Matches      map[relation.TupleID][]string
+	ContentScore float64
+}
+
+// Keywords returns the distinct query keywords the answer covers, sorted.
+func (a Answer) Keywords() []string {
+	set := make(map[string]bool)
+	for _, kws := range a.Matches {
+		for _, k := range kws {
+			set[k] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Engine enumerates connections between keyword tuples.
+type Engine struct {
+	db       *relation.Database
+	graph    *datagraph.Graph
+	index    *index.Index
+	analyzer *core.Analyzer
+	opts     Options
+}
+
+// New builds an engine over the database, constructing the data graph, the
+// keyword index and the association analyzer.
+func New(db *relation.Database, opts Options) (*Engine, error) {
+	if db == nil {
+		return nil, fmt.Errorf("paths: nil database")
+	}
+	if opts.MaxEdges <= 0 {
+		opts.MaxEdges = DefaultOptions().MaxEdges
+	}
+	analyzer, err := core.Derive(db)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		db:       db,
+		graph:    datagraph.Build(db),
+		index:    index.Build(db),
+		analyzer: analyzer,
+		opts:     opts,
+	}, nil
+}
+
+// NewWithComponents builds an engine from pre-built components, so that the
+// graph, index and analyzer can be shared with other engines.
+func NewWithComponents(db *relation.Database, g *datagraph.Graph, idx *index.Index, analyzer *core.Analyzer, opts Options) (*Engine, error) {
+	if db == nil || g == nil || idx == nil || analyzer == nil {
+		return nil, fmt.Errorf("paths: nil component")
+	}
+	if opts.MaxEdges <= 0 {
+		opts.MaxEdges = DefaultOptions().MaxEdges
+	}
+	return &Engine{db: db, graph: g, index: idx, analyzer: analyzer, opts: opts}, nil
+}
+
+// Graph returns the engine's data graph.
+func (e *Engine) Graph() *datagraph.Graph { return e.graph }
+
+// Index returns the engine's keyword index.
+func (e *Engine) Index() *index.Index { return e.index }
+
+// Analyzer returns the engine's association analyzer.
+func (e *Engine) Analyzer() *core.Analyzer { return e.analyzer }
+
+// Search enumerates the connections answering the keyword query. Answers are
+// deduplicated (a path and its reverse count once) and ordered by ascending
+// RDB length, then by canonical connection key; ranking strategies are
+// applied by the caller (see internal/ranking).
+func (e *Engine) Search(keywords []string) ([]Answer, error) {
+	if len(keywords) == 0 {
+		return nil, fmt.Errorf("paths: empty keyword query")
+	}
+	matches := e.index.MatchAll(keywords)
+	keywordTuples := make(map[string]map[relation.TupleID]bool, len(keywords))
+	tupleKeywords := make(map[relation.TupleID][]string)
+	for kw, ms := range matches {
+		set := make(map[relation.TupleID]bool, len(ms))
+		for _, m := range ms {
+			set[m.Tuple] = true
+			tupleKeywords[m.Tuple] = appendUnique(tupleKeywords[m.Tuple], kw)
+		}
+		keywordTuples[kw] = set
+	}
+	if e.opts.RequireAllKeywords {
+		for kw, set := range keywordTuples {
+			if len(set) == 0 {
+				return nil, fmt.Errorf("paths: keyword %q matches no tuple", kw)
+			}
+		}
+	}
+
+	var answers []Answer
+	seen := make(map[string]bool)
+
+	if len(keywords) == 1 {
+		// Single-keyword queries: each matching tuple is an answer.
+		for id := range keywordTuples[keywords[0]] {
+			c, err := core.NewConnection(id, nil)
+			if err != nil {
+				continue
+			}
+			ans, err := e.buildAnswer(c, tupleKeywords, keywords)
+			if err != nil {
+				return nil, err
+			}
+			answers = append(answers, ans)
+		}
+		return e.finish(answers), nil
+	}
+
+	// Enumerate connections between tuples matching different keywords.
+	ordered := append([]string(nil), keywords...)
+	sort.Strings(ordered)
+	for i := 0; i < len(ordered); i++ {
+		for j := i + 1; j < len(ordered); j++ {
+			froms := sortedIDs(keywordTuples[ordered[i]])
+			tos := sortedIDs(keywordTuples[ordered[j]])
+			for _, from := range froms {
+				for _, to := range tos {
+					if from == to {
+						// One tuple matching both keywords is itself an answer.
+						c, err := core.NewConnection(from, nil)
+						if err != nil || seen[c.Key()] {
+							continue
+						}
+						seen[c.Key()] = true
+						if e.covers(c, keywordTuples, keywords) {
+							ans, err := e.buildAnswer(c, tupleKeywords, keywords)
+							if err != nil {
+								return nil, err
+							}
+							answers = append(answers, ans)
+						}
+						continue
+					}
+					for _, c := range core.EnumerateConnections(e.graph, from, to, e.opts.MaxEdges) {
+						if seen[c.Key()] {
+							continue
+						}
+						seen[c.Key()] = true
+						if !e.covers(c, keywordTuples, keywords) {
+							continue
+						}
+						ans, err := e.buildAnswer(c, tupleKeywords, keywords)
+						if err != nil {
+							return nil, err
+						}
+						answers = append(answers, ans)
+					}
+				}
+			}
+		}
+	}
+	return e.finish(answers), nil
+}
+
+// covers reports whether the connection satisfies the keyword-coverage
+// semantics configured in the options.
+func (e *Engine) covers(c core.Connection, keywordTuples map[string]map[relation.TupleID]bool, keywords []string) bool {
+	if !e.opts.RequireAllKeywords {
+		return true
+	}
+	for _, kw := range keywords {
+		found := false
+		for _, t := range c.Tuples {
+			if keywordTuples[kw][t] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) buildAnswer(c core.Connection, tupleKeywords map[relation.TupleID][]string, keywords []string) (Answer, error) {
+	var (
+		an  core.Analysis
+		err error
+	)
+	if e.opts.InstanceCorroboration {
+		an, err = e.analyzer.AnalyzeWithInstance(c, e.graph)
+	} else {
+		an, err = e.analyzer.Analyze(c)
+	}
+	if err != nil {
+		return Answer{}, err
+	}
+	matched := make(map[relation.TupleID][]string)
+	content := 0.0
+	for _, t := range c.Tuples {
+		if kws := tupleKeywords[t]; len(kws) > 0 {
+			matched[t] = append([]string(nil), kws...)
+		}
+		content += e.index.ContentScore(t, keywords)
+	}
+	return Answer{Connection: c, Analysis: an, Matches: matched, ContentScore: content}, nil
+}
+
+func (e *Engine) finish(answers []Answer) []Answer {
+	sort.Slice(answers, func(i, j int) bool {
+		if answers[i].Connection.RDBLength() != answers[j].Connection.RDBLength() {
+			return answers[i].Connection.RDBLength() < answers[j].Connection.RDBLength()
+		}
+		return answers[i].Connection.Key() < answers[j].Connection.Key()
+	})
+	if e.opts.MaxResults > 0 && len(answers) > e.opts.MaxResults {
+		answers = answers[:e.opts.MaxResults]
+	}
+	return answers
+}
+
+func appendUnique(ss []string, s string) []string {
+	for _, have := range ss {
+		if have == s {
+			return ss
+		}
+	}
+	return append(ss, s)
+}
+
+func sortedIDs(set map[relation.TupleID]bool) []relation.TupleID {
+	out := make([]relation.TupleID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	relation.SortTupleIDs(out)
+	return out
+}

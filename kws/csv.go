@@ -1,0 +1,127 @@
+package kws
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/relation"
+)
+
+// LoadCSV loads rows from CSV data (header row required, column names must
+// exist in the table) into an existing table and returns the number of rows
+// loaded. It accepts exactly the files cmd/dbgen writes.
+func (d *Database) LoadCSV(table string, r io.Reader) (int, error) {
+	t, ok := d.db.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("kws: unknown table %s", table)
+	}
+	return relation.LoadCSV(r, t)
+}
+
+// LoadCSVDir loads every "<TABLE>.csv" file of a directory into the
+// corresponding tables, which must have been declared with AddTable first.
+// Files for unknown tables are reported as errors; tables without a file are
+// left empty. It returns the total number of rows loaded.
+func (d *Database) LoadCSVDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("kws: read csv directory: %w", err)
+	}
+	total := 0
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".csv" {
+			continue
+		}
+		table := e.Name()[:len(e.Name())-len(".csv")]
+		if _, ok := d.db.Table(table); !ok {
+			return total, fmt.Errorf("kws: csv file %s has no matching table", e.Name())
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return total, err
+		}
+		n, err := d.LoadCSV(table, f)
+		f.Close()
+		if err != nil {
+			return total, fmt.Errorf("kws: load %s: %w", e.Name(), err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// CompanySchema adds the paper's company schema (DEPARTMENT, PROJECT,
+// WORKS_ON, EMPLOYEE, DEPENDENT) to an empty database, so CSV workloads
+// written by cmd/dbgen can be loaded and searched.
+func CompanySchema(db *Database) error {
+	specs := []TableSpec{
+		{
+			Name: "DEPARTMENT",
+			Columns: []ColumnSpec{
+				{Name: "ID", Type: "string"},
+				{Name: "D_NAME", Type: "string"},
+				{Name: "D_DESCRIPTION", Type: "text", Nullable: true},
+			},
+			PrimaryKey: []string{"ID"},
+		},
+		{
+			Name: "PROJECT",
+			Columns: []ColumnSpec{
+				{Name: "ID", Type: "string"},
+				{Name: "D_ID", Type: "string"},
+				{Name: "P_NAME", Type: "string"},
+				{Name: "P_DESCRIPTION", Type: "text", Nullable: true},
+			},
+			PrimaryKey: []string{"ID"},
+			ForeignKeys: []ForeignKeySpec{
+				{Name: "CONTROLS", Columns: []string{"D_ID"}, RefTable: "DEPARTMENT", RefColumns: []string{"ID"}},
+			},
+		},
+		{
+			Name: "WORKS_ON",
+			Columns: []ColumnSpec{
+				{Name: "ESSN", Type: "string"},
+				{Name: "P_ID", Type: "string"},
+				{Name: "HOURS", Type: "int", Nullable: true},
+			},
+			PrimaryKey: []string{"ESSN", "P_ID"},
+			ForeignKeys: []ForeignKeySpec{
+				{Name: "WORKS_ON_EMP", Columns: []string{"ESSN"}, RefTable: "EMPLOYEE", RefColumns: []string{"SSN"}},
+				{Name: "WORKS_ON_PROJ", Columns: []string{"P_ID"}, RefTable: "PROJECT", RefColumns: []string{"ID"}},
+			},
+		},
+		{
+			Name: "EMPLOYEE",
+			Columns: []ColumnSpec{
+				{Name: "SSN", Type: "string"},
+				{Name: "L_NAME", Type: "string"},
+				{Name: "S_NAME", Type: "string"},
+				{Name: "D_ID", Type: "string"},
+			},
+			PrimaryKey: []string{"SSN"},
+			ForeignKeys: []ForeignKeySpec{
+				{Name: "WORKS_FOR", Columns: []string{"D_ID"}, RefTable: "DEPARTMENT", RefColumns: []string{"ID"}},
+			},
+		},
+		{
+			Name: "DEPENDENT",
+			Columns: []ColumnSpec{
+				{Name: "ID", Type: "string"},
+				{Name: "ESSN", Type: "string"},
+				{Name: "DEPENDENT_NAME", Type: "string"},
+			},
+			PrimaryKey: []string{"ID"},
+			ForeignKeys: []ForeignKeySpec{
+				{Name: "DEPENDENTS_OF", Columns: []string{"ESSN"}, RefTable: "EMPLOYEE", RefColumns: []string{"SSN"}},
+			},
+		},
+	}
+	for _, s := range specs {
+		if err := db.AddTable(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+// Package kws is the public API of the library: keyword search over
+// relational (structural) data with close/loose association analysis, as
+// described in "Close and Loose Associations in Keyword Search from
+// Structural Data" (Vainio, Junkkari, Kekäläinen; EDBT/ICDT 2017 workshops).
+//
+// A Database is defined from table specifications (columns, primary keys and
+// foreign keys) and filled with rows; an Engine searches it with keyword
+// queries and returns connections of tuples ranked by configurable
+// strategies, each annotated with its relational and conceptual (ER) length
+// and its close/loose association verdict.
+//
+//	db := kws.PaperExample()
+//	engine, _ := kws.Open(db, kws.Config{Ranking: kws.RankCloseFirst})
+//	results, _ := engine.Search("Smith", "XML")
+//	for _, r := range results {
+//		fmt.Println(r.Rank, r.Connection, r.Close, r.ERLength)
+//	}
+package kws
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/paperdb"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// ColumnSpec declares one column of a table.
+type ColumnSpec struct {
+	// Name is the column name.
+	Name string
+	// Type is one of "string", "text", "int", "float", "bool". "text"
+	// columns hold free text and are keyword-indexed; "string" columns
+	// hold identifier-like values and are indexed as well unless they are
+	// key columns.
+	Type string
+	// Nullable marks the column as optional.
+	Nullable bool
+}
+
+// ForeignKeySpec declares a referential constraint.
+type ForeignKeySpec struct {
+	// Name is an optional constraint name; it doubles as the relationship
+	// name at the conceptual level.
+	Name string
+	// Columns are the referencing columns of this table.
+	Columns []string
+	// RefTable and RefColumns identify the referenced primary key.
+	RefTable   string
+	RefColumns []string
+}
+
+// TableSpec declares a table.
+type TableSpec struct {
+	Name        string
+	Columns     []ColumnSpec
+	PrimaryKey  []string
+	ForeignKeys []ForeignKeySpec
+}
+
+// Database is a self-contained in-memory relational database.
+type Database struct {
+	db *relation.Database
+}
+
+// NewDatabase creates an empty database with the given name.
+func NewDatabase(name string) *Database {
+	return &Database{db: relation.NewDatabase(name)}
+}
+
+// AddTable adds a table according to the specification.
+func (d *Database) AddTable(spec TableSpec) error {
+	cols := make([]relation.Column, 0, len(spec.Columns))
+	for _, c := range spec.Columns {
+		t, err := parseColumnType(c.Type)
+		if err != nil {
+			return fmt.Errorf("kws: table %s column %s: %w", spec.Name, c.Name, err)
+		}
+		cols = append(cols, relation.Column{Name: c.Name, Type: t, Nullable: c.Nullable})
+	}
+	fks := make([]relation.ForeignKey, 0, len(spec.ForeignKeys))
+	for _, fk := range spec.ForeignKeys {
+		fks = append(fks, relation.ForeignKey{
+			Name:        fk.Name,
+			Columns:     append([]string(nil), fk.Columns...),
+			RefRelation: fk.RefTable,
+			RefColumns:  append([]string(nil), fk.RefColumns...),
+		})
+	}
+	schema, err := relation.NewSchema(spec.Name, cols, spec.PrimaryKey, fks...)
+	if err != nil {
+		return err
+	}
+	_, err = d.db.CreateTable(schema)
+	return err
+}
+
+// Insert adds a row to a table. Values may be string, int, int64, float64 or
+// bool; missing columns become NULL.
+func (d *Database) Insert(table string, row map[string]any) error {
+	t, ok := d.db.Table(table)
+	if !ok {
+		return fmt.Errorf("kws: unknown table %s", table)
+	}
+	values := make(map[string]relation.Value, len(row))
+	for col, v := range row {
+		def, ok := t.Schema().Column(col)
+		if !ok {
+			return fmt.Errorf("kws: table %s has no column %s", table, col)
+		}
+		rv, err := toValue(v, def.Type)
+		if err != nil {
+			return fmt.Errorf("kws: %s.%s: %w", table, col, err)
+		}
+		values[col] = rv
+	}
+	_, err := t.Insert(values)
+	return err
+}
+
+// Validate checks the catalog (foreign keys reference existing primary keys)
+// and the data (no dangling references).
+func (d *Database) Validate() error {
+	if err := d.db.Validate(); err != nil {
+		return err
+	}
+	if errs := d.db.CheckIntegrity(); len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+// Tables returns the table names in creation order.
+func (d *Database) Tables() []string { return d.db.TableNames() }
+
+// TupleCount returns the total number of rows.
+func (d *Database) TupleCount() int { return d.db.TupleCount() }
+
+// Dump writes every table as aligned text to w.
+func (d *Database) Dump(w io.Writer) error { return relation.DumpDatabase(w, d.db) }
+
+// internalDB exposes the underlying engine database to the facade.
+func (d *Database) internalDB() *relation.Database { return d.db }
+
+// PaperExample returns the running example of the paper: the company
+// database of Figure 2 (departments, projects, employees, assignments and
+// dependents).
+func PaperExample() *Database {
+	return &Database{db: paperdb.MustLoad()}
+}
+
+// SyntheticCompany generates a synthetic company database following the
+// paper's schema, sized by the scale factor and seeded for reproducibility.
+func SyntheticCompany(scale int, seed int64) *Database {
+	return &Database{db: workload.MustGenerate(workload.ScaledConfig(scale, seed))}
+}
+
+func parseColumnType(s string) (relation.Type, error) {
+	switch s {
+	case "string", "varchar", "":
+		return relation.TypeString, nil
+	case "text":
+		return relation.TypeText, nil
+	case "int", "integer":
+		return relation.TypeInt, nil
+	case "float", "double":
+		return relation.TypeFloat, nil
+	case "bool", "boolean":
+		return relation.TypeBool, nil
+	default:
+		return relation.TypeNull, fmt.Errorf("unknown column type %q", s)
+	}
+}
+
+func toValue(v any, t relation.Type) (relation.Value, error) {
+	if v == nil {
+		return relation.Null(), nil
+	}
+	switch x := v.(type) {
+	case string:
+		if t == relation.TypeText {
+			return relation.Text(x), nil
+		}
+		return relation.String(x), nil
+	case int:
+		return relation.Int(int64(x)), nil
+	case int64:
+		return relation.Int(x), nil
+	case float64:
+		if t == relation.TypeInt {
+			if x == float64(int64(x)) {
+				return relation.Int(int64(x)), nil
+			}
+			return relation.Null(), fmt.Errorf("value %v is not an integer", x)
+		}
+		return relation.Float(x), nil
+	case bool:
+		return relation.Bool(x), nil
+	default:
+		return relation.Null(), fmt.Errorf("unsupported value type %T", v)
+	}
+}

@@ -1,0 +1,341 @@
+package kws
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datagraph"
+	"repro/internal/index"
+	"repro/internal/paperdb"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+	"repro/internal/search/banks"
+	"repro/internal/search/mtjnt"
+	"repro/internal/search/paths"
+)
+
+// Ranking strategy names accepted by Config.Ranking.
+const (
+	// RankRDBLength ranks by the number of joins in the relational
+	// database (the conventional length-based ranking).
+	RankRDBLength = "rdb-length"
+	// RankERLength ranks by conceptual length: middle relations
+	// implementing N:M relationships do not count.
+	RankERLength = "er-length"
+	// RankCloseFirst ranks close associations first, then corroborated
+	// loose ones, then the rest, breaking ties by conceptual length.
+	RankCloseFirst = "close-first"
+	// RankLoosenessPenalty ranks by conceptual length plus a penalty per
+	// transitive N:M sub-path.
+	RankLoosenessPenalty = "looseness-penalty"
+	// RankHubPenalty additionally charges for the tuples associated by
+	// every general-entity hub at the instance level.
+	RankHubPenalty = "hub-penalty"
+	// RankCombined mixes conceptual length with the TF-IDF content score.
+	RankCombined = "combined"
+)
+
+// Search engine names accepted by Config.Engine.
+const (
+	// EnginePaths enumerates every connection between keyword tuples up to
+	// the join budget (the paper's proposal).
+	EnginePaths = "paths"
+	// EngineMTJNT returns only minimal total joining networks of tuples
+	// (the DISCOVER baseline).
+	EngineMTJNT = "mtjnt"
+	// EngineBANKS runs backward expanding search (the BANKS baseline);
+	// only its path-shaped answers are returned.
+	EngineBANKS = "banks"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Engine selects the search strategy; it defaults to EnginePaths.
+	Engine string
+	// Ranking selects the ranking strategy; it defaults to RankCloseFirst.
+	Ranking string
+	// MaxJoins is the connection budget in joins; it defaults to 5.
+	MaxJoins int
+	// TopK caps the number of results (0 = all).
+	TopK int
+	// DisableInstanceChecks skips the instance-level corroboration
+	// analysis, which is the most expensive part of result annotation.
+	DisableInstanceChecks bool
+	// LoosenessLambda is the penalty per transitive N:M sub-path used by
+	// RankLoosenessPenalty; it defaults to 1.
+	LoosenessLambda float64
+}
+
+// Result is one ranked answer.
+type Result struct {
+	// Rank is the 1-based position under the configured ranking.
+	Rank int
+	// Score is the ranking cost (lower is better).
+	Score float64
+	// Connection renders the tuple path, e.g. "d1(XML) - e1(Smith)".
+	Connection string
+	// ConnectionWithCardinalities renders the path with per-join
+	// cardinalities, e.g. "p1(XML) 1:N w_f1 N:1 e1(Smith)".
+	ConnectionWithCardinalities string
+	// Tuples are the identifiers of the visited tuples in order.
+	Tuples []string
+	// MatchedKeywords maps each matching tuple identifier to the keywords
+	// it matches.
+	MatchedKeywords map[string][]string
+	// RDBLength and ERLength are the connection lengths at the two levels.
+	RDBLength int
+	ERLength  int
+	// Class is the association classification ("immediate", "functional",
+	// "transitive-N:M", "mixed").
+	Class string
+	// Close reports a guaranteed close association at the schema level.
+	Close bool
+	// CorroboratedAtInstance reports closeness at the instance level.
+	CorroboratedAtInstance bool
+	// TransitiveNM counts transitive N:M sub-paths (looseness degree).
+	TransitiveNM int
+	// ContentScore is the TF-IDF score of the matched attributes.
+	ContentScore float64
+}
+
+// Engine answers keyword queries over one database.
+type Engine struct {
+	cfg      Config
+	db       *relation.Database
+	graph    *datagraph.Graph
+	idx      *index.Index
+	analyzer *core.Analyzer
+	paths    *paths.Engine
+	mtjnt    *mtjnt.Engine
+	banks    *banks.Engine
+	scorer   ranking.Scorer
+	labeler  func(relation.TupleID) string
+}
+
+// Open prepares an engine for the database: it derives the conceptual
+// schema, builds the tuple graph and the keyword index, and validates the
+// configuration.
+func Open(db *Database, cfg Config) (*Engine, error) {
+	if db == nil {
+		return nil, fmt.Errorf("kws: nil database")
+	}
+	if cfg.Engine == "" {
+		cfg.Engine = EnginePaths
+	}
+	if cfg.Ranking == "" {
+		cfg.Ranking = RankCloseFirst
+	}
+	if cfg.MaxJoins <= 0 {
+		cfg.MaxJoins = 5
+	}
+	inner := db.internalDB()
+	if err := inner.Validate(); err != nil {
+		return nil, err
+	}
+	analyzer, err := core.Derive(inner)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		db:       inner,
+		graph:    datagraph.Build(inner),
+		idx:      index.Build(inner),
+		analyzer: analyzer,
+		labeler:  defaultLabeler(inner),
+	}
+	e.scorer, err = scorerFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pathOpts := paths.Options{
+		MaxEdges:              cfg.MaxJoins,
+		RequireAllKeywords:    true,
+		InstanceCorroboration: !cfg.DisableInstanceChecks,
+	}
+	if e.paths, err = paths.NewWithComponents(inner, e.graph, e.idx, analyzer, pathOpts); err != nil {
+		return nil, err
+	}
+	if e.mtjnt, err = mtjnt.NewWithComponents(inner, e.graph, e.idx, mtjnt.Options{MaxEdges: cfg.MaxJoins}); err != nil {
+		return nil, err
+	}
+	if e.banks, err = banks.NewWithComponents(inner, e.graph, e.idx, banks.Options{MaxDepth: cfg.MaxJoins, MaxResults: 100}); err != nil {
+		return nil, err
+	}
+	switch cfg.Engine {
+	case EnginePaths, EngineMTJNT, EngineBANKS:
+	default:
+		return nil, fmt.Errorf("kws: unknown engine %q", cfg.Engine)
+	}
+	return e, nil
+}
+
+func scorerFor(cfg Config) (ranking.Scorer, error) {
+	switch cfg.Ranking {
+	case RankRDBLength:
+		return ranking.RDBLength{}, nil
+	case RankERLength:
+		return ranking.ERLength{}, nil
+	case RankCloseFirst:
+		return ranking.CloseFirst{}, nil
+	case RankLoosenessPenalty:
+		return ranking.LoosenessPenalty{Lambda: cfg.LoosenessLambda}, nil
+	case RankHubPenalty:
+		return ranking.HubPenalty{}, nil
+	case RankCombined:
+		return ranking.Combined{Structure: ranking.ERLength{}}, nil
+	default:
+		return nil, fmt.Errorf("kws: unknown ranking strategy %q", cfg.Ranking)
+	}
+}
+
+// defaultLabeler labels tuples with the paper's labels for the running
+// example and with "RELATION[key]" otherwise.
+func defaultLabeler(db *relation.Database) func(relation.TupleID) string {
+	if db.Name == "company" {
+		return paperdb.DisplayLabel
+	}
+	return func(id relation.TupleID) string { return id.String() }
+}
+
+// Search answers the keyword query and returns ranked results.
+func (e *Engine) Search(keywords ...string) ([]Result, error) {
+	if len(keywords) == 0 {
+		return nil, fmt.Errorf("kws: empty query")
+	}
+	answers, err := e.collect(keywords)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]ranking.Item, len(answers))
+	for i, a := range answers {
+		items[i] = ranking.Item{Analysis: a.Analysis, Content: a.ContentScore}
+	}
+	ranked := ranking.TopK(items, e.scorer, e.cfg.TopK)
+	byKey := make(map[string]paths.Answer, len(answers))
+	for _, a := range answers {
+		byKey[a.Connection.Key()] = a
+	}
+	results := make([]Result, 0, len(ranked))
+	for _, rk := range ranked {
+		a := byKey[rk.Item.Analysis.Connection.Key()]
+		results = append(results, e.toResult(a, rk))
+	}
+	return results, nil
+}
+
+// collect runs the configured engine and normalises its answers into path
+// answers with full analyses.
+func (e *Engine) collect(keywords []string) ([]paths.Answer, error) {
+	switch e.cfg.Engine {
+	case EngineMTJNT:
+		nets, err := e.mtjnt.Search(keywords)
+		if err != nil {
+			return nil, err
+		}
+		return e.annotate(extractConnections(nets), keywords)
+	case EngineBANKS:
+		trees, err := e.banks.Search(keywords)
+		if err != nil {
+			return nil, err
+		}
+		var conns []core.Connection
+		for _, t := range trees {
+			if c, ok := t.AsConnection(); ok {
+				conns = append(conns, c)
+			} else if len(t.Nodes) == 1 {
+				if c, err := core.NewConnection(t.Nodes[0], nil); err == nil {
+					conns = append(conns, c)
+				}
+			}
+		}
+		return e.annotate(conns, keywords)
+	default:
+		return e.paths.Search(keywords)
+	}
+}
+
+func extractConnections(nets []mtjnt.Network) []core.Connection {
+	out := make([]core.Connection, 0, len(nets))
+	for _, n := range nets {
+		out = append(out, n.Connection)
+	}
+	return out
+}
+
+// annotate turns plain connections into fully analysed answers.
+func (e *Engine) annotate(conns []core.Connection, keywords []string) ([]paths.Answer, error) {
+	tupleKeywords := make(map[relation.TupleID][]string)
+	for _, kw := range keywords {
+		for id := range e.idx.KeywordTuples(kw) {
+			tupleKeywords[id] = append(tupleKeywords[id], kw)
+		}
+	}
+	out := make([]paths.Answer, 0, len(conns))
+	for _, c := range conns {
+		var (
+			an  core.Analysis
+			err error
+		)
+		if e.cfg.DisableInstanceChecks {
+			an, err = e.analyzer.Analyze(c)
+		} else {
+			an, err = e.analyzer.AnalyzeWithInstance(c, e.graph)
+		}
+		if err != nil {
+			return nil, err
+		}
+		matched := make(map[relation.TupleID][]string)
+		content := 0.0
+		for _, t := range c.Tuples {
+			if kws := tupleKeywords[t]; len(kws) > 0 {
+				matched[t] = append([]string(nil), kws...)
+			}
+			content += e.idx.ContentScore(t, keywords)
+		}
+		out = append(out, paths.Answer{Connection: c, Analysis: an, Matches: matched, ContentScore: content})
+	}
+	return out, nil
+}
+
+func (e *Engine) toResult(a paths.Answer, rk ranking.Ranked) Result {
+	tuples := make([]string, len(a.Connection.Tuples))
+	for i, t := range a.Connection.Tuples {
+		tuples[i] = e.labeler(t)
+	}
+	matched := make(map[string][]string, len(a.Matches))
+	for id, kws := range a.Matches {
+		matched[e.labeler(id)] = append([]string(nil), kws...)
+	}
+	return Result{
+		Rank:                        rk.Rank,
+		Score:                       rk.Score,
+		Connection:                  a.Connection.Format(e.labeler, a.Matches),
+		ConnectionWithCardinalities: a.Analysis.FormatWithCardinalities(e.labeler, a.Matches),
+		Tuples:                      tuples,
+		MatchedKeywords:             matched,
+		RDBLength:                   a.Analysis.RDBLength,
+		ERLength:                    a.Analysis.ERLength,
+		Class:                       a.Analysis.Class.String(),
+		Close:                       a.Analysis.Close,
+		CorroboratedAtInstance:      a.Analysis.CorroboratedAtInstance,
+		TransitiveNM:                a.Analysis.TransitiveNM,
+		ContentScore:                a.ContentScore,
+	}
+}
+
+// Match returns the identifiers of the tuples matching a single keyword,
+// useful for exploring a database before searching.
+func (e *Engine) Match(keyword string) []string {
+	var out []string
+	for _, m := range e.idx.Match(keyword) {
+		out = append(out, e.labeler(m.Tuple))
+	}
+	return out
+}
+
+// Stats summarises the opened database.
+func (e *Engine) Stats() (relations, tuples, edges int) {
+	st := e.db.Stats()
+	return st.Relations, st.Tuples, e.graph.EdgeCount()
+}
