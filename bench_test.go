@@ -19,6 +19,7 @@ package repro
 // The component benchmarks at the end measure the substrates in isolation.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -337,18 +338,66 @@ func BenchmarkCardinalityClassification(b *testing.B) {
 // BenchmarkPublicAPISearch measures an end-to-end search through the public
 // kws facade on the paper database.
 func BenchmarkPublicAPISearch(b *testing.B) {
-	engine, err := kws.Open(kws.PaperExample(), kws.Config{Ranking: kws.RankCloseFirst, MaxJoins: 3})
+	engine, err := kws.New(kws.PaperExample())
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
+	query := kws.Query{Keywords: []string{"Smith", "XML"}, Ranking: kws.RankCloseFirst, MaxJoins: 3}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results, err := engine.Search("Smith", "XML")
+		results, err := engine.Search(ctx, query)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(results) != 7 {
 			b.Fatalf("results = %d", len(results))
+		}
+	}
+}
+
+// BenchmarkPublicAPISearchParallel measures the same search issued from many
+// goroutines against one shared engine — the concurrent serving shape the
+// per-query API is designed for.
+func BenchmarkPublicAPISearchParallel(b *testing.B) {
+	engine, err := kws.New(kws.PaperExample())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	query := kws.Query{Keywords: []string{"Smith", "XML"}, Ranking: kws.RankCloseFirst, MaxJoins: 3}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			results, err := engine.Search(ctx, query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(results) != 7 {
+				b.Fatalf("results = %d", len(results))
+			}
+		}
+	})
+}
+
+// BenchmarkPublicAPIStream measures streaming the first answer out of the
+// facade — the time-to-first-result the batch API cannot offer.
+func BenchmarkPublicAPIStream(b *testing.B) {
+	engine, err := kws.New(kws.PaperExample())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	query := kws.Query{Keywords: []string{"Smith", "XML"}, MaxJoins: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := 0
+		err := engine.Stream(ctx, query, func(kws.Result) bool {
+			got++
+			return false // stop at the first answer
+		})
+		if err != nil || got != 1 {
+			b.Fatalf("stream: got=%d err=%v", got, err)
 		}
 	}
 }

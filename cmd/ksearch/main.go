@@ -6,13 +6,19 @@
 //	ksearch Smith XML
 //	ksearch -db synthetic -scale 4 -ranking er-length -engine mtjnt databases Smith
 //	ksearch -topk 5 -maxjoins 4 Alice XML
+//	ksearch -stream -engine paths Smith XML   # print answers as they are found
+//
+// Interrupting a long search (Ctrl-C) cancels it through the query context.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"repro/internal/paperdb"
 	"repro/kws"
 )
 
@@ -21,10 +27,11 @@ func main() {
 		database = flag.String("db", "paper", `database to search: "paper" (the running example) or "synthetic"`)
 		scale    = flag.Int("scale", 2, "scale factor for the synthetic database")
 		seed     = flag.Int64("seed", 1, "seed for the synthetic database")
-		engine   = flag.String("engine", kws.EnginePaths, "search engine: paths, mtjnt, banks")
-		rank     = flag.String("ranking", kws.RankCloseFirst, "ranking: rdb-length, er-length, close-first, looseness-penalty, hub-penalty, combined")
+		engine   = flag.String("engine", string(kws.EnginePaths), fmt.Sprintf("search engine: %v", kws.RegisteredEngines()))
+		rank     = flag.String("ranking", string(kws.RankCloseFirst), fmt.Sprintf("ranking: %v", kws.RegisteredRankers()))
 		maxJoins = flag.Int("maxjoins", 3, "maximum number of joins per connection")
 		topK     = flag.Int("topk", 0, "return only the top K results (0 = all)")
+		stream   = flag.Bool("stream", false, "print unranked answers as they are discovered instead of waiting for the full ranking")
 		verbose  = flag.Bool("v", false, "print the per-join cardinality rendering as well")
 	)
 	flag.Parse()
@@ -34,28 +41,30 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(*database, *scale, *seed, *engine, *rank, *maxJoins, *topK, *verbose, keywords); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	err := run(ctx, *database, *scale, *seed, kws.EngineKind(*engine), kws.RankStrategy(*rank), *maxJoins, *topK, *stream, *verbose, keywords)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ksearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(database string, scale int, seed int64, engine, rank string, maxJoins, topK int, verbose bool, keywords []string) error {
-	var db *kws.Database
+func run(ctx context.Context, database string, scale int, seed int64, engine kws.EngineKind, rank kws.RankStrategy, maxJoins, topK int, stream, verbose bool, keywords []string) error {
+	var (
+		db      *kws.Database
+		labeler kws.Labeler
+	)
 	switch database {
 	case "paper":
 		db = kws.PaperExample()
+		labeler = paperdb.DisplayLabel
 	case "synthetic":
 		db = kws.SyntheticCompany(scale, seed)
 	default:
 		return fmt.Errorf("unknown database %q (use paper or synthetic)", database)
 	}
-	e, err := kws.Open(db, kws.Config{
-		Engine:   engine,
-		Ranking:  rank,
-		MaxJoins: maxJoins,
-		TopK:     topK,
-	})
+	e, err := kws.New(db, kws.WithLabeler(labeler))
 	if err != nil {
 		return err
 	}
@@ -63,7 +72,29 @@ func run(database string, scale int, seed int64, engine, rank string, maxJoins, 
 	fmt.Printf("database: %s (%d relations, %d tuples, %d join edges)\n", database, rels, tuples, edges)
 	fmt.Printf("query: %v  engine: %s  ranking: %s  budget: %d joins\n\n", keywords, engine, rank, maxJoins)
 
-	results, err := e.Search(keywords...)
+	query := kws.Query{
+		Keywords: keywords,
+		Engine:   engine,
+		Ranking:  rank,
+		MaxJoins: maxJoins,
+		TopK:     topK,
+	}
+	if stream {
+		n := 0
+		err := e.Stream(ctx, query, func(r kws.Result) bool {
+			n++
+			printResult(n, r, verbose)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			fmt.Println("no connections found")
+		}
+		return nil
+	}
+	results, err := e.Search(ctx, query)
 	if err != nil {
 		return err
 	}
@@ -72,18 +103,22 @@ func run(database string, scale int, seed int64, engine, rank string, maxJoins, 
 		return nil
 	}
 	for _, r := range results {
-		closeness := "loose"
-		if r.Close {
-			closeness = "close"
-		} else if r.CorroboratedAtInstance {
-			closeness = "loose (close at instance level)"
-		}
-		fmt.Printf("%2d. %s\n", r.Rank, r.Connection)
-		fmt.Printf("    len(RDB)=%d len(ER)=%d class=%s association=%s score=%.2f\n",
-			r.RDBLength, r.ERLength, r.Class, closeness, r.Score)
-		if verbose {
-			fmt.Printf("    %s\n", r.ConnectionWithCardinalities)
-		}
+		printResult(r.Rank, r, verbose)
 	}
 	return nil
+}
+
+func printResult(position int, r kws.Result, verbose bool) {
+	closeness := "loose"
+	if r.Close {
+		closeness = "close"
+	} else if r.CorroboratedAtInstance {
+		closeness = "loose (close at instance level)"
+	}
+	fmt.Printf("%2d. %s\n", position, r.Connection)
+	fmt.Printf("    len(RDB)=%d len(ER)=%d class=%s association=%s score=%.2f\n",
+		r.RDBLength, r.ERLength, r.Class, closeness, r.Score)
+	if verbose {
+		fmt.Printf("    %s\n", r.ConnectionWithCardinalities)
+	}
 }

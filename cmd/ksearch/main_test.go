@@ -1,22 +1,39 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"repro/kws"
 )
 
 func TestRunPaperDatabase(t *testing.T) {
-	if err := run("paper", 1, 1, kws.EnginePaths, kws.RankCloseFirst, 3, 0, true, []string{"Smith", "XML"}); err != nil {
+	ctx := context.Background()
+	if err := run(ctx, "paper", 1, 1, kws.EnginePaths, kws.RankCloseFirst, 3, 0, false, true, []string{"Smith", "XML"}); err != nil {
 		t.Errorf("run: %v", err)
 	}
-	if err := run("paper", 1, 1, kws.EngineMTJNT, kws.RankERLength, 3, 2, false, []string{"Smith", "XML"}); err != nil {
+	if err := run(ctx, "paper", 1, 1, kws.EngineMTJNT, kws.RankERLength, 3, 2, false, false, []string{"Smith", "XML"}); err != nil {
 		t.Errorf("run mtjnt: %v", err)
 	}
 }
 
+func TestRunStreaming(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, "paper", 1, 1, kws.EnginePaths, kws.RankCloseFirst, 3, 2, true, false, []string{"Smith", "XML"}); err != nil {
+		t.Errorf("run -stream: %v", err)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, "paper", 1, 1, kws.EnginePaths, kws.RankCloseFirst, 3, 0, false, false, []string{"Smith", "XML"}); err == nil {
+		t.Error("cancelled context should surface as an error")
+	}
+}
+
 func TestRunSyntheticDatabase(t *testing.T) {
-	if err := run("synthetic", 1, 7, kws.EnginePaths, kws.RankERLength, 3, 5, false, []string{"databases", "Smith"}); err != nil {
+	if err := run(context.Background(), "synthetic", 1, 7, kws.EnginePaths, kws.RankERLength, 3, 5, false, false, []string{"databases", "Smith"}); err != nil {
 		// The sampled keywords may be absent at tiny scales; only a
 		// configuration error is fatal here.
 		t.Logf("synthetic run reported: %v", err)
@@ -24,13 +41,14 @@ func TestRunSyntheticDatabase(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("bogus", 1, 1, kws.EnginePaths, kws.RankCloseFirst, 3, 0, false, []string{"x"}); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, "bogus", 1, 1, kws.EnginePaths, kws.RankCloseFirst, 3, 0, false, false, []string{"x"}); err == nil {
 		t.Error("unknown database should fail")
 	}
-	if err := run("paper", 1, 1, "bogus", kws.RankCloseFirst, 3, 0, false, []string{"x"}); err == nil {
+	if err := run(ctx, "paper", 1, 1, "bogus", kws.RankCloseFirst, 3, 0, false, false, []string{"x"}); err == nil {
 		t.Error("unknown engine should fail")
 	}
-	if err := run("paper", 1, 1, kws.EnginePaths, kws.RankCloseFirst, 3, 0, false, []string{"doesnotmatch", "XML"}); err == nil {
+	if err := run(ctx, "paper", 1, 1, kws.EnginePaths, kws.RankCloseFirst, 3, 0, false, false, []string{"doesnotmatch", "XML"}); err == nil {
 		t.Error("unmatched keyword should surface as an error")
 	}
 }

@@ -5,11 +5,13 @@
 //
 //	repro                      # all paper artifacts (Figures 1-2, Tables 1-3, MTJNT loss, ranking, ablation)
 //	repro -artifact table2     # one artifact: figure1, figure2, table1, table2, table3, mtjnt, ranking, ablation
+//	repro -artifact search     # the running example through the public kws API
 //	repro -artifact scale -scales 1,2,4,8 -queries 20
 //	repro -artifact engines -scale 4 -queries 20
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,11 +19,13 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/paperdb"
+	"repro/kws"
 )
 
 func main() {
 	var (
-		artifact = flag.String("artifact", "all", "artifact to regenerate: all, figure1, figure2, table1, table2, table3, mtjnt, ranking, ablation, scale, engines")
+		artifact = flag.String("artifact", "all", "artifact to regenerate: all, figure1, figure2, table1, table2, table3, mtjnt, ranking, ablation, search, scale, engines")
 		scales   = flag.String("scales", "1,2,4", "comma-separated workload scales for -artifact scale")
 		scale    = flag.Int("scale", 2, "workload scale for -artifact engines")
 		queries  = flag.Int("queries", 10, "number of generated queries for scaled experiments")
@@ -83,6 +87,8 @@ func run(artifact, scales string, scale, queries, maxJoins int, seed int64) erro
 		}
 		fmt.Println(r.String())
 		return nil
+	case "search":
+		return searchArtifact(maxJoins)
 	default:
 		f, ok := single[artifact]
 		if !ok {
@@ -95,6 +101,36 @@ func run(artifact, scales string, scale, queries, maxJoins int, seed int64) erro
 		fmt.Println(r.String())
 		return nil
 	}
+}
+
+// searchArtifact runs the paper's running example ("Smith XML") through the
+// public kws API with every engine kind, printing the answers in the paper's
+// Table 2-3 notation. The paper labels (d1, p1, w_f1, ...) are not wired
+// into the library any more: they are passed explicitly as the labeler.
+func searchArtifact(maxJoins int) error {
+	engine, err := kws.New(kws.PaperExample(), kws.WithLabeler(paperdb.DisplayLabel))
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	fmt.Println("== Running example through the public kws API: query {Smith XML} ==")
+	for _, kind := range kws.RegisteredEngines() {
+		results, err := engine.Search(ctx, kws.Query{
+			Keywords: []string{"Smith", "XML"},
+			Engine:   kind,
+			Ranking:  kws.RankCloseFirst,
+			MaxJoins: maxJoins,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nengine %s (%d answers):\n", kind, len(results))
+		for _, r := range results {
+			fmt.Printf("%2d. %-50s len(RDB)=%d len(ER)=%d close=%v\n",
+				r.Rank, r.ConnectionWithCardinalities, r.RDBLength, r.ERLength, r.Close)
+		}
+	}
+	return nil
 }
 
 func parseScales(s string) ([]int, error) {

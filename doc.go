@@ -2,11 +2,20 @@
 // Associations in Keyword Search from Structural Data" (Vainio, Junkkari,
 // Kekäläinen; EDBT/ICDT 2017 joint conference workshops).
 //
-// The public API lives in the kws package; the paper's contribution
-// (conceptual connection lengths and close/loose association analysis) is
-// implemented in internal/core on top of an in-memory relational engine,
-// an ER layer, graph substrates, a keyword index and three search engines
-// (connection enumeration, DISCOVER-style MTJNT and BANKS-style backward
-// expansion). The benchmarks in bench_test.go regenerate every figure and
-// table of the paper; cmd/repro prints them as reports.
+// The public API lives in the kws package: a goroutine-safe Engine serves
+// context-aware keyword queries — Engine.Search(ctx, Query) for ranked
+// batches, Engine.Stream / Engine.Results for incremental consumption — and
+// every per-query option (engine kind, ranking strategy, join budget, TopK,
+// instance checks, labeler) travels in the Query, so one Engine handles many
+// concurrent callers with different settings. Search strategies and ranking
+// strategies are pluggable through kws.RegisterEngine and kws.RegisterRanker.
+//
+// The paper's contribution (conceptual connection lengths and close/loose
+// association analysis) is implemented in internal/core on top of an
+// in-memory relational engine, an ER layer, graph substrates, a keyword
+// index and three search engines (connection enumeration, DISCOVER-style
+// MTJNT and BANKS-style backward expansion), all of which support
+// cancellation through context.Context. The benchmarks in bench_test.go
+// regenerate every figure and table of the paper; cmd/repro prints them as
+// reports.
 package repro

@@ -1,12 +1,14 @@
 // Bibliography: build a custom bibliographic database (authors, papers,
 // venues and a citation-style junction) through the public API and search it
 // with keyword queries, showing how the close/loose analysis carries over to
-// schemas other than the paper's running example.
+// schemas other than the paper's running example — including streaming the
+// answers of a query as they are discovered.
 //
 //	go run ./examples/bibliography
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -96,11 +98,17 @@ func buildBibliography() (*kws.Database, error) {
 }
 
 func main() {
+	ctx := context.Background()
 	db, err := buildBibliography()
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine, err := kws.Open(db, kws.Config{Ranking: kws.RankCloseFirst, MaxJoins: 4})
+	// The engine-level defaults cover all queries below; each Search could
+	// still override them per call.
+	engine, err := kws.New(db, kws.WithDefaults(kws.Config{
+		Ranking:  kws.RankCloseFirst,
+		MaxJoins: 4,
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,7 +120,7 @@ func main() {
 	}
 	for _, q := range queries {
 		fmt.Printf("query: %v\n", q)
-		results, err := engine.Search(q...)
+		results, err := engine.Search(ctx, kws.Query{Keywords: q})
 		if err != nil {
 			fmt.Printf("  (%v)\n\n", err)
 			continue
@@ -131,13 +139,14 @@ func main() {
 
 	// Demonstrate the conceptual-length point on this schema: an author
 	// connected to a venue through AUTHORED + PAPER is 3 joins in the RDB
-	// but only 2 relationships at the ER level.
-	results, err := engine.Search("Hristidis", "VLDB")
+	// but only 2 relationships at the ER level. Stream the answers as the
+	// enumeration discovers them.
+	fmt.Println("author-to-venue connections, streamed (note ER length vs RDB length):")
+	err = engine.Stream(ctx, kws.Query{Keywords: []string{"Hristidis", "VLDB"}}, func(r kws.Result) bool {
+		fmt.Printf("  - %-75s len(RDB)=%d len(ER)=%d\n", r.Connection, r.RDBLength, r.ERLength)
+		return true
+	})
 	if err != nil {
 		log.Fatal(err)
-	}
-	fmt.Println("author-to-venue connections (note ER length vs RDB length):")
-	for _, r := range results {
-		fmt.Printf("  %2d. %-75s len(RDB)=%d len(ER)=%d\n", r.Rank, r.Connection, r.RDBLength, r.ERLength)
 	}
 }

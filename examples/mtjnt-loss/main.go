@@ -2,12 +2,14 @@
 // size, run a batch of two-keyword queries with both the connection
 // enumeration engine and the MTJNT baseline, and report how many answers —
 // and how many close associations — the MTJNT principle drops as the
-// database grows.
+// database grows. One engine per database serves both strategies: the
+// engine kind is a per-query option.
 //
 //	go run ./examples/mtjnt-loss
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	queries := [][]string{
 		{"Smith", "XML"},
 		{"Miller", "databases"},
@@ -26,24 +29,19 @@ func main() {
 	fmt.Printf("%-7s %-8s %-14s %-14s %-8s %-10s\n",
 		"scale", "tuples", "pathAnswers", "mtjntAnswers", "lost", "lostClose")
 	for _, scale := range []int{1, 2, 4, 8} {
-		db := kws.SyntheticCompany(scale, 7)
-		pathsEngine, err := kws.Open(db, kws.Config{Engine: kws.EnginePaths, MaxJoins: 3})
+		engine, err := kws.New(kws.SyntheticCompany(scale, 7))
 		if err != nil {
 			log.Fatal(err)
 		}
-		mtjntEngine, err := kws.Open(db, kws.Config{Engine: kws.EngineMTJNT, MaxJoins: 3})
-		if err != nil {
-			log.Fatal(err)
-		}
-		_, tuples, _ := pathsEngine.Stats()
+		_, tuples, _ := engine.Stats()
 
 		var pathAnswers, mtjntAnswers, lost, lostClose int
 		for _, q := range queries {
-			all, err := pathsEngine.Search(q...)
+			all, err := engine.Search(ctx, kws.Query{Keywords: q, Engine: kws.EnginePaths, MaxJoins: 3})
 			if err != nil {
 				continue // the keyword may not occur at this scale
 			}
-			minimal, err := mtjntEngine.Search(q...)
+			minimal, err := engine.Search(ctx, kws.Query{Keywords: q, Engine: kws.EngineMTJNT, MaxJoins: 3})
 			if err != nil {
 				continue
 			}

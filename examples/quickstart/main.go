@@ -1,10 +1,12 @@
 // Quickstart: open the paper's running example and run the "Smith XML"
 // query, printing the ranked connections with their close/loose analysis.
+// One engine serves every query; the ranking is a per-query option.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,21 +14,24 @@ import (
 )
 
 func main() {
-	// The paper's Figure 2 database: departments, projects, employees, the
-	// WORKS_ON assignments and dependents.
-	db := kws.PaperExample()
+	ctx := context.Background()
 
-	// Open an engine that enumerates connections up to 3 joins and ranks
-	// close associations first (the paper's proposal).
-	engine, err := kws.Open(db, kws.Config{
-		Ranking:  kws.RankCloseFirst,
-		MaxJoins: 3,
-	})
+	// The paper's Figure 2 database: departments, projects, employees, the
+	// WORKS_ON assignments and dependents. The paper's tuple labels (d1,
+	// p1, w_f1, ...) are opt-in through the labeler option.
+	engine, err := kws.New(kws.PaperExample(), kws.WithLabeler(kws.PaperLabeler()))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	results, err := engine.Search("Smith", "XML")
+	// Enumerate connections up to 3 joins and rank close associations
+	// first (the paper's proposal).
+	query := kws.Query{
+		Keywords: []string{"Smith", "XML"},
+		Ranking:  kws.RankCloseFirst,
+		MaxJoins: 3,
+	}
+	results, err := engine.Search(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,17 +49,25 @@ func main() {
 	}
 
 	// Compare with the ranking a conventional system would use (number of
-	// joins in the relational database).
-	conventional, err := kws.Open(db, kws.Config{Ranking: kws.RankRDBLength, MaxJoins: 3})
-	if err != nil {
-		log.Fatal(err)
-	}
-	results, err = conventional.Search("Smith", "XML")
+	// joins in the relational database) — same engine, different Query.
+	query.Ranking = kws.RankRDBLength
+	results, err = engine.Search(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nsame query ranked by raw join count:")
 	for _, r := range results {
 		fmt.Printf("%2d. %s\n", r.Rank, r.Connection)
+	}
+
+	// Streaming: answers arrive in discovery order, before the enumeration
+	// finishes — no ranks, but no waiting either.
+	fmt.Println("\nfirst three answers, streamed as they are discovered:")
+	query.TopK = 3
+	for r, err := range engine.Results(ctx, query) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  - %s\n", r.Connection)
 	}
 }

@@ -2,12 +2,14 @@
 // end — the database instance, the keyword matches, every connection of
 // Table 2 with its RDB and ER lengths, the close/loose verdicts, and the
 // answers that disappear when only minimal joining networks (MTJNT) are
-// returned.
+// returned. A single engine serves every query; the join budget and the
+// engine kind vary per call.
 //
 //	go run ./examples/university
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -16,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db := kws.PaperExample()
 
 	fmt.Println("=== The database instance (Figure 2) ===")
@@ -23,7 +26,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	engine, err := kws.Open(db, kws.Config{Ranking: kws.RankERLength, MaxJoins: 3})
+	engine, err := kws.New(db, kws.WithLabeler(kws.PaperLabeler()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +37,11 @@ func main() {
 	}
 
 	fmt.Println("\n=== Connections for \"Smith XML\" (Table 2, ranked by ER length) ===")
-	results, err := engine.Search("Smith", "XML")
+	results, err := engine.Search(ctx, kws.Query{
+		Keywords: []string{"Smith", "XML"},
+		Ranking:  kws.RankERLength,
+		MaxJoins: 3,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,11 +52,11 @@ func main() {
 	}
 
 	fmt.Println("\n=== Connections for \"Alice XML\" (connections 8 and 9) ===")
-	engineWide, err := kws.Open(db, kws.Config{Ranking: kws.RankERLength, MaxJoins: 4})
-	if err != nil {
-		log.Fatal(err)
-	}
-	results, err = engineWide.Search("Alice", "XML")
+	results, err = engine.Search(ctx, kws.Query{
+		Keywords: []string{"Alice", "XML"},
+		Ranking:  kws.RankERLength,
+		MaxJoins: 4, // a wider budget, for this query only
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,11 +66,10 @@ func main() {
 	}
 
 	fmt.Println("\n=== What the MTJNT principle keeps ===")
-	minimal, err := kws.Open(db, kws.Config{Engine: kws.EngineMTJNT, MaxJoins: 3})
-	if err != nil {
-		log.Fatal(err)
-	}
-	kept, err := minimal.Search("Smith", "XML")
+	smithXML := kws.Query{Keywords: []string{"Smith", "XML"}, Ranking: kws.RankERLength, MaxJoins: 3}
+	minimal := smithXML
+	minimal.Engine = kws.EngineMTJNT
+	kept, err := engine.Search(ctx, minimal)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +78,7 @@ func main() {
 		keptSet[r.Connection] = true
 		fmt.Printf("kept: %s\n", r.Connection)
 	}
-	all, err := engine.Search("Smith", "XML")
+	all, err := engine.Search(ctx, smithXML)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,34 +1,40 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sort"
 
 	"repro/internal/datagraph"
 	"repro/internal/relation"
 )
 
-// EnumerateConnections returns every simple path between two tuples of the
-// data graph with at most maxEdges joins, in deterministic order (shorter
-// first, then by canonical key). It is the basic machinery behind both the
-// paper-style connection enumeration and instance-level corroboration.
-func EnumerateConnections(g *datagraph.Graph, from, to relation.TupleID, maxEdges int) []Connection {
+// WalkConnections streams every simple path between two tuples of the data
+// graph with at most maxEdges joins, invoking yield for each connection as it
+// is discovered (depth-first order). The walk stops early when yield returns
+// false or when the context is cancelled; in the latter case ctx.Err() is
+// returned. This is the cancellable core behind connection enumeration and
+// instance-level corroboration.
+func WalkConnections(ctx context.Context, g *datagraph.Graph, from, to relation.TupleID, maxEdges int, yield func(Connection) bool) error {
 	if g == nil || !g.Has(from) || !g.Has(to) || maxEdges <= 0 || from == to {
 		return nil
 	}
-	var out []Connection
 	visited := map[relation.TupleID]bool{from: true}
 	var edges []datagraph.Edge
-	var walk func(cur relation.TupleID)
-	walk = func(cur relation.TupleID) {
+	var walk func(cur relation.TupleID) error
+	walk = func(cur relation.TupleID) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if cur == to {
 			c, err := NewConnection(from, edges)
-			if err == nil {
-				out = append(out, c)
+			if err == nil && !yield(c) {
+				return errStopWalk
 			}
-			return
+			return nil
 		}
 		if len(edges) >= maxEdges {
-			return
+			return nil
 		}
 		for _, e := range g.Neighbors(cur) {
 			if visited[e.To] {
@@ -36,19 +42,49 @@ func EnumerateConnections(g *datagraph.Graph, from, to relation.TupleID, maxEdge
 			}
 			visited[e.To] = true
 			edges = append(edges, e)
-			walk(e.To)
+			err := walk(e.To)
 			edges = edges[:len(edges)-1]
 			visited[e.To] = false
+			if err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	walk(from)
+	if err := walk(from); err != nil && err != errStopWalk {
+		return err
+	}
+	return nil
+}
+
+// errStopWalk is the internal sentinel unwinding a walk stopped by yield.
+var errStopWalk = errors.New("core: walk stopped")
+
+// EnumerateConnections returns every simple path between two tuples of the
+// data graph with at most maxEdges joins, in deterministic order (shorter
+// first, then by canonical key). It is the basic machinery behind both the
+// paper-style connection enumeration and instance-level corroboration.
+func EnumerateConnections(g *datagraph.Graph, from, to relation.TupleID, maxEdges int) []Connection {
+	out, _ := EnumerateConnectionsContext(context.Background(), g, from, to, maxEdges)
+	return out
+}
+
+// EnumerateConnectionsContext is EnumerateConnections with cancellation: it
+// returns ctx.Err() (and the connections found so far) when the context is
+// cancelled mid-walk.
+func EnumerateConnectionsContext(ctx context.Context, g *datagraph.Graph, from, to relation.TupleID, maxEdges int) ([]Connection, error) {
+	var out []Connection
+	err := WalkConnections(ctx, g, from, to, maxEdges, func(c Connection) bool {
+		out = append(out, c)
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if len(out[i].Edges) != len(out[j].Edges) {
 			return len(out[i].Edges) < len(out[j].Edges)
 		}
 		return out[i].Key() < out[j].Key()
 	})
-	return out
+	return out, err
 }
 
 // AnalyzeWithInstance analyses the connection like Analyze and additionally
@@ -59,6 +95,14 @@ func EnumerateConnections(g *datagraph.Graph, from, to relation.TupleID, maxEdge
 // when set). This reproduces the paper's observation that connections 3, 4
 // and 7 are close at the instance level while connection 6 is not.
 func (a *Analyzer) AnalyzeWithInstance(c Connection, g *datagraph.Graph) (Analysis, error) {
+	return a.AnalyzeWithInstanceContext(context.Background(), c, g)
+}
+
+// AnalyzeWithInstanceContext is AnalyzeWithInstance with cancellation: the
+// search for a close witness stops — and ctx.Err() is returned — as soon as
+// the context is cancelled. The witness walk also stops at the first close
+// witness instead of materialising every candidate connection.
+func (a *Analyzer) AnalyzeWithInstanceContext(ctx context.Context, c Connection, g *datagraph.Graph) (Analysis, error) {
 	an, err := a.Analyze(c)
 	if err != nil {
 		return Analysis{}, err
@@ -70,18 +114,22 @@ func (a *Analyzer) AnalyzeWithInstance(c Connection, g *datagraph.Graph) (Analys
 	if budget <= 0 {
 		budget = an.RDBLength
 	}
-	for _, witness := range EnumerateConnections(g, c.Start(), c.End(), budget) {
+	walkErr := WalkConnections(ctx, g, c.Start(), c.End(), budget, func(witness Connection) bool {
 		if witness.Key() == c.Key() {
-			continue
+			return true
 		}
 		wa, err := a.Analyze(witness)
 		if err != nil {
-			continue
+			return true
 		}
 		if wa.Close {
 			an.CorroboratedAtInstance = true
-			break
+			return false
 		}
+		return true
+	})
+	if walkErr != nil {
+		return Analysis{}, walkErr
 	}
 	return an, nil
 }

@@ -187,13 +187,71 @@ func Rank(items []Item, scorer Scorer) []Ranked {
 }
 
 // TopK returns the first k ranked items (all of them when k <= 0 or k
-// exceeds the input size).
+// exceeds the input size). When k is smaller than the input it selects the k
+// best items with a bounded max-heap instead of sorting the whole set — the
+// hot path of per-query TopK searches over large answer sets.
 func TopK(items []Item, scorer Scorer, k int) []Ranked {
-	ranked := Rank(items, scorer)
-	if k <= 0 || k >= len(ranked) {
-		return ranked
+	if k <= 0 || k >= len(items) {
+		return Rank(items, scorer)
 	}
-	return ranked[:k]
+	// worst is a max-heap under the ranking order: its root is the worst of
+	// the k best items seen so far.
+	worst := make([]Ranked, 0, k)
+	for _, it := range items {
+		cand := Ranked{Item: it, Score: scorer.Score(it)}
+		if len(worst) < k {
+			worst = append(worst, cand)
+			siftUp(worst, len(worst)-1)
+			continue
+		}
+		if ranksAfter(cand, worst[0]) {
+			continue
+		}
+		worst[0] = cand
+		siftDown(worst, 0)
+	}
+	sort.Slice(worst, func(i, j int) bool { return ranksAfter(worst[j], worst[i]) })
+	for i := range worst {
+		worst[i].Rank = i + 1
+	}
+	return worst
+}
+
+// ranksAfter reports whether a ranks strictly after b under the
+// deterministic order of Rank: ascending score, ties broken by the canonical
+// connection key.
+func ranksAfter(a, b Ranked) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Item.Analysis.Connection.Key() > b.Item.Analysis.Connection.Key()
+}
+
+func siftUp(h []Ranked, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ranksAfter(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []Ranked, i int) {
+	for {
+		largest := i
+		for _, child := range []int{2*i + 1, 2*i + 2} {
+			if child < len(h) && ranksAfter(h[child], h[largest]) {
+				largest = child
+			}
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
 }
 
 // Strategies returns the standard set of scorers the experiments compare.

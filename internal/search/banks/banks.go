@@ -8,6 +8,7 @@
 package banks
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -90,7 +91,9 @@ func (t Tree) Signature() string {
 	return strings.Join(parts, "|")
 }
 
-// Engine runs backward expanding search over a database.
+// Engine runs backward expanding search over a database. It is immutable
+// after construction and safe for concurrent use; the options passed at
+// construction only serve as defaults for the legacy Search entry point.
 type Engine struct {
 	db    *relation.Database
 	graph *datagraph.Graph
@@ -133,7 +136,7 @@ type expansion struct {
 	back map[relation.TupleID]datagraph.Edge
 }
 
-func (e *Engine) expand(matches []relation.TupleID) expansion {
+func (e *Engine) expand(ctx context.Context, matches []relation.TupleID, maxDepth int) (expansion, error) {
 	ex := expansion{
 		dist: make(map[relation.TupleID]int),
 		back: make(map[relation.TupleID]datagraph.Edge),
@@ -144,9 +147,12 @@ func (e *Engine) expand(matches []relation.TupleID) expansion {
 		queue = append(queue, m)
 	}
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return expansion{}, err
+		}
 		cur := queue[0]
 		queue = queue[1:]
-		if ex.dist[cur] >= e.opts.MaxDepth {
+		if ex.dist[cur] >= maxDepth {
 			continue
 		}
 		for _, edge := range e.graph.Neighbors(cur) {
@@ -160,7 +166,7 @@ func (e *Engine) expand(matches []relation.TupleID) expansion {
 			queue = append(queue, edge.To)
 		}
 	}
-	return ex
+	return ex, nil
 }
 
 // pathToMatch follows the back pointers of an expansion from the root down
@@ -179,8 +185,21 @@ func pathToMatch(ex expansion, root relation.TupleID) ([]datagraph.Edge, relatio
 // Search runs the backward expanding search and returns up to MaxResults
 // answer trees ordered by ascending weight, then by signature.
 func (e *Engine) Search(keywords []string) ([]Tree, error) {
+	return e.SearchContext(context.Background(), keywords, e.opts)
+}
+
+// SearchContext is Search with cancellation and per-call options: zero
+// options fall back to the defaults, and both the keyword expansions and the
+// per-root tree construction abort with ctx.Err() as soon as the context is
+// cancelled. The engine itself is immutable, so concurrent SearchContext
+// calls with different options are safe.
+func (e *Engine) SearchContext(ctx context.Context, keywords []string, opts Options) ([]Tree, error) {
+	applyDefaults(&opts)
 	if len(keywords) == 0 {
 		return nil, fmt.Errorf("banks: empty keyword query")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	matches := make(map[string][]relation.TupleID, len(keywords))
 	tupleKeywords := make(map[relation.TupleID][]string)
@@ -203,7 +222,11 @@ func (e *Engine) Search(keywords []string) ([]Tree, error) {
 
 	expansions := make(map[string]expansion, len(keywords))
 	for kw, ids := range matches {
-		expansions[kw] = e.expand(ids)
+		ex, err := e.expand(ctx, ids, opts.MaxDepth)
+		if err != nil {
+			return nil, err
+		}
+		expansions[kw] = ex
 	}
 
 	// Candidate roots: tuples reached by every keyword's expansion.
@@ -240,6 +263,9 @@ func (e *Engine) Search(keywords []string) ([]Tree, error) {
 	var out []Tree
 	seen := make(map[string]bool)
 	for _, cand := range roots {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tree := e.buildTree(cand.root, keywords, expansions, tupleKeywords)
 		if seen[tree.Signature()] {
 			continue
@@ -253,10 +279,32 @@ func (e *Engine) Search(keywords []string) ([]Tree, error) {
 		}
 		return out[i].Signature() < out[j].Signature()
 	})
-	if len(out) > e.opts.MaxResults {
-		out = out[:e.opts.MaxResults]
+	if len(out) > opts.MaxResults {
+		out = out[:opts.MaxResults]
 	}
 	return out, nil
+}
+
+// Stream runs the backward expanding search and hands each answer tree to
+// yield in ranked order (ascending weight, then signature). BANKS is a
+// barrier algorithm — every keyword expansion must complete before the first
+// tree exists — so streaming begins after the expansion phase; the stream
+// stops when yield returns false or the context is cancelled, in which case
+// ctx.Err() is returned.
+func (e *Engine) Stream(ctx context.Context, keywords []string, opts Options, yield func(Tree) bool) error {
+	trees, err := e.SearchContext(ctx, keywords, opts)
+	if err != nil {
+		return err
+	}
+	for _, t := range trees {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !yield(t) {
+			return nil
+		}
+	}
+	return nil
 }
 
 func (e *Engine) buildTree(root relation.TupleID, keywords []string, expansions map[string]expansion, tupleKeywords map[relation.TupleID][]string) Tree {

@@ -11,6 +11,8 @@
 package mtjnt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -54,7 +56,9 @@ type CandidateNetwork struct {
 // String renders the candidate network as R1-R2-...-Rn.
 func (cn CandidateNetwork) String() string { return strings.Join(cn.Relations, "-") }
 
-// Engine produces MTJNT answers for keyword queries.
+// Engine produces MTJNT answers for keyword queries. It is immutable after
+// construction and safe for concurrent use; the options passed at
+// construction only serve as defaults for the legacy Search entry point.
 type Engine struct {
 	db    *relation.Database
 	graph *datagraph.Graph
@@ -166,15 +170,62 @@ func inducedConnected(g *datagraph.Graph, tuples []relation.TupleID) bool {
 // Search returns the MTJNTs answering the query, ordered by ascending size
 // then canonical key.
 func (e *Engine) Search(keywords []string) ([]Network, error) {
+	return e.SearchContext(context.Background(), keywords, e.opts)
+}
+
+// SearchContext is Search with cancellation and per-call options: the zero
+// MaxEdges falls back to the default budget, and the enumeration aborts with
+// ctx.Err() as soon as the context is cancelled. The engine itself is
+// immutable, so concurrent SearchContext calls with different options are
+// safe.
+func (e *Engine) SearchContext(ctx context.Context, keywords []string, opts Options) ([]Network, error) {
+	var out []Network
+	// The cap is applied after the deterministic sort, so the stream below
+	// must not cut the enumeration early.
+	maxResults := opts.MaxResults
+	opts.MaxResults = 0
+	if err := e.Stream(ctx, keywords, opts, func(n Network) bool {
+		out = append(out, n)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Connection.RDBLength() != out[j].Connection.RDBLength() {
+			return out[i].Connection.RDBLength() < out[j].Connection.RDBLength()
+		}
+		return out[i].Connection.Key() < out[j].Connection.Key()
+	})
+	if maxResults > 0 && len(out) > maxResults {
+		out = out[:maxResults]
+	}
+	return out, nil
+}
+
+// errStopStream unwinds an enumeration stopped by a yield returning false.
+var errStopStream = errors.New("mtjnt: stream stopped")
+
+// Stream enumerates the MTJNTs answering the query and hands each one to
+// yield as soon as it passes the minimal-total check, in discovery order (no
+// global sort). The stream stops when yield returns false, when MaxResults
+// networks have been delivered, or when the context is cancelled — in which
+// case ctx.Err() is returned.
+func (e *Engine) Stream(ctx context.Context, keywords []string, opts Options, yield func(Network) bool) error {
 	if len(keywords) == 0 {
-		return nil, fmt.Errorf("mtjnt: empty keyword query")
+		return fmt.Errorf("mtjnt: empty keyword query")
+	}
+	if opts.MaxEdges <= 0 {
+		opts.MaxEdges = DefaultOptions().MaxEdges
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	keywordTuples := make(map[string]map[relation.TupleID]bool, len(keywords))
 	tupleKeywords := make(map[relation.TupleID][]string)
 	for _, kw := range keywords {
 		set := e.index.KeywordTuples(kw)
 		if len(set) == 0 {
-			return nil, fmt.Errorf("mtjnt: keyword %q matches no tuple", kw)
+			return fmt.Errorf("mtjnt: keyword %q matches no tuple", kw)
 		}
 		keywordTuples[kw] = set
 		for id := range set {
@@ -185,15 +236,15 @@ func (e *Engine) Search(keywords []string) ([]Network, error) {
 		sort.Strings(kws)
 	}
 
-	var out []Network
+	emitted := 0
 	seen := make(map[string]bool)
-	add := func(c core.Connection) {
+	add := func(c core.Connection) error {
 		if seen[c.Key()] {
-			return
+			return nil
 		}
 		seen[c.Key()] = true
 		if !IsMinimalTotal(e.graph, c, keywordTuples, keywords) {
-			return
+			return nil
 		}
 		matches := make(map[relation.TupleID][]string)
 		for _, t := range c.Tuples {
@@ -201,14 +252,32 @@ func (e *Engine) Search(keywords []string) ([]Network, error) {
 				matches[t] = append([]string(nil), kws...)
 			}
 		}
-		out = append(out, Network{Connection: c, Matches: matches})
+		if !yield(Network{Connection: c, Matches: matches}) {
+			return errStopStream
+		}
+		emitted++
+		if opts.MaxResults > 0 && emitted >= opts.MaxResults {
+			return errStopStream
+		}
+		return nil
 	}
 
+	err := e.walkCandidates(ctx, keywords, keywordTuples, tupleKeywords, opts, add)
+	if err == errStopStream {
+		return nil
+	}
+	return err
+}
+
+// walkCandidates feeds every candidate connection of the query to add.
+func (e *Engine) walkCandidates(ctx context.Context, keywords []string, keywordTuples map[string]map[relation.TupleID]bool, tupleKeywords map[relation.TupleID][]string, opts Options, add func(core.Connection) error) error {
 	// Single tuples covering the whole query.
-	for id, kws := range tupleKeywords {
-		if len(kws) == len(keywords) {
+	for _, id := range sortedIDs(tupleKeywords) {
+		if len(tupleKeywords[id]) == len(keywords) {
 			if c, err := core.NewConnection(id, nil); err == nil {
-				add(c)
+				if err := add(c); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -219,27 +288,28 @@ func (e *Engine) Search(keywords []string) ([]Network, error) {
 		for j := i + 1; j < len(ordered); j++ {
 			for _, from := range sortedIDs(keywordTuples[ordered[i]]) {
 				for _, to := range sortedIDs(keywordTuples[ordered[j]]) {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
 					if from == to {
 						continue
 					}
-					for _, c := range core.EnumerateConnections(e.graph, from, to, e.opts.MaxEdges) {
-						add(c)
+					var addErr error
+					walkErr := core.WalkConnections(ctx, e.graph, from, to, opts.MaxEdges, func(c core.Connection) bool {
+						addErr = add(c)
+						return addErr == nil
+					})
+					if addErr != nil {
+						return addErr
+					}
+					if walkErr != nil {
+						return walkErr
 					}
 				}
 			}
 		}
 	}
-
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Connection.RDBLength() != out[j].Connection.RDBLength() {
-			return out[i].Connection.RDBLength() < out[j].Connection.RDBLength()
-		}
-		return out[i].Connection.Key() < out[j].Connection.Key()
-	})
-	if e.opts.MaxResults > 0 && len(out) > e.opts.MaxResults {
-		out = out[:e.opts.MaxResults]
-	}
-	return out, nil
+	return nil
 }
 
 // CandidateNetworks generates DISCOVER's schema-level candidate networks for
@@ -316,7 +386,7 @@ func (e *Engine) CandidateNetworks(keywords []string, maxEdges int) ([]Candidate
 	return out, nil
 }
 
-func sortedIDs(set map[relation.TupleID]bool) []relation.TupleID {
+func sortedIDs[V any](set map[relation.TupleID]V) []relation.TupleID {
 	out := make([]relation.TupleID, 0, len(set))
 	for id := range set {
 		out = append(out, id)

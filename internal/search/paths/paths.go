@@ -7,6 +7,8 @@
 package paths
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -65,7 +67,9 @@ func (a Answer) Keywords() []string {
 	return out
 }
 
-// Engine enumerates connections between keyword tuples.
+// Engine enumerates connections between keyword tuples. It is immutable
+// after construction and safe for concurrent use; the options passed at
+// construction only serve as defaults for the legacy Search entry point.
 type Engine struct {
 	db       *relation.Database
 	graph    *datagraph.Graph
@@ -122,8 +126,48 @@ func (e *Engine) Analyzer() *core.Analyzer { return e.analyzer }
 // RDB length, then by canonical connection key; ranking strategies are
 // applied by the caller (see internal/ranking).
 func (e *Engine) Search(keywords []string) ([]Answer, error) {
+	return e.SearchContext(context.Background(), keywords, e.opts)
+}
+
+// SearchContext is Search with cancellation and per-call options: the zero
+// MaxEdges falls back to the default budget, and the enumeration aborts with
+// ctx.Err() as soon as the context is cancelled. The engine itself is
+// immutable, so concurrent SearchContext calls with different options are
+// safe.
+func (e *Engine) SearchContext(ctx context.Context, keywords []string, opts Options) ([]Answer, error) {
+	var answers []Answer
+	// The cap is applied after the deterministic sort, so the stream below
+	// must not cut the enumeration early.
+	maxResults := opts.MaxResults
+	opts.MaxResults = 0
+	if err := e.Stream(ctx, keywords, opts, func(a Answer) bool {
+		answers = append(answers, a)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	opts.MaxResults = maxResults
+	return finish(answers, opts), nil
+}
+
+// errStopStream unwinds an enumeration stopped by a yield returning false.
+var errStopStream = errors.New("paths: stream stopped")
+
+// Stream enumerates the answers of the keyword query and hands each one to
+// yield as soon as it is built, in discovery order (no global sort): the
+// first answers arrive while the enumeration is still running. The stream
+// stops when yield returns false, when MaxResults answers have been
+// delivered, or when the context is cancelled — in which case ctx.Err() is
+// returned. Answers are deduplicated exactly as in Search.
+func (e *Engine) Stream(ctx context.Context, keywords []string, opts Options, yield func(Answer) bool) error {
 	if len(keywords) == 0 {
-		return nil, fmt.Errorf("paths: empty keyword query")
+		return fmt.Errorf("paths: empty keyword query")
+	}
+	if opts.MaxEdges <= 0 {
+		opts.MaxEdges = DefaultOptions().MaxEdges
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	matches := e.index.MatchAll(keywords)
 	keywordTuples := make(map[string]map[relation.TupleID]bool, len(keywords))
@@ -136,31 +180,59 @@ func (e *Engine) Search(keywords []string) ([]Answer, error) {
 		}
 		keywordTuples[kw] = set
 	}
-	if e.opts.RequireAllKeywords {
-		for kw, set := range keywordTuples {
-			if len(set) == 0 {
-				return nil, fmt.Errorf("paths: keyword %q matches no tuple", kw)
+	if opts.RequireAllKeywords {
+		for _, kw := range keywords {
+			if len(keywordTuples[kw]) == 0 {
+				return fmt.Errorf("paths: keyword %q matches no tuple", kw)
 			}
 		}
 	}
 
-	var answers []Answer
+	emitted := 0
+	// emit builds the answer for a deduplicated, covering connection and
+	// yields it; a non-nil return aborts the whole enumeration.
+	emit := func(c core.Connection) error {
+		ans, err := e.buildAnswer(ctx, c, tupleKeywords, keywords, opts)
+		if err != nil {
+			return err
+		}
+		if !yield(ans) {
+			return errStopStream
+		}
+		emitted++
+		if opts.MaxResults > 0 && emitted >= opts.MaxResults {
+			return errStopStream
+		}
+		return nil
+	}
+
+	err := e.walkConnections(ctx, keywords, keywordTuples, opts, emit)
+	if err == errStopStream {
+		return nil
+	}
+	return err
+}
+
+// walkConnections drives the deduplicated enumeration of covering
+// connections, invoking emit for each one.
+func (e *Engine) walkConnections(ctx context.Context, keywords []string, keywordTuples map[string]map[relation.TupleID]bool, opts Options, emit func(core.Connection) error) error {
 	seen := make(map[string]bool)
 
 	if len(keywords) == 1 {
 		// Single-keyword queries: each matching tuple is an answer.
-		for id := range keywordTuples[keywords[0]] {
+		for _, id := range sortedIDs(keywordTuples[keywords[0]]) {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			c, err := core.NewConnection(id, nil)
 			if err != nil {
 				continue
 			}
-			ans, err := e.buildAnswer(c, tupleKeywords, keywords)
-			if err != nil {
-				return nil, err
+			if err := emit(c); err != nil {
+				return err
 			}
-			answers = append(answers, ans)
 		}
-		return e.finish(answers), nil
+		return nil
 	}
 
 	// Enumerate connections between tuples matching different keywords.
@@ -172,6 +244,9 @@ func (e *Engine) Search(keywords []string) ([]Answer, error) {
 			tos := sortedIDs(keywordTuples[ordered[j]])
 			for _, from := range froms {
 				for _, to := range tos {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
 					if from == to {
 						// One tuple matching both keywords is itself an answer.
 						c, err := core.NewConnection(from, nil)
@@ -179,40 +254,42 @@ func (e *Engine) Search(keywords []string) ([]Answer, error) {
 							continue
 						}
 						seen[c.Key()] = true
-						if e.covers(c, keywordTuples, keywords) {
-							ans, err := e.buildAnswer(c, tupleKeywords, keywords)
-							if err != nil {
-								return nil, err
+						if e.covers(c, keywordTuples, keywords, opts) {
+							if err := emit(c); err != nil {
+								return err
 							}
-							answers = append(answers, ans)
 						}
 						continue
 					}
-					for _, c := range core.EnumerateConnections(e.graph, from, to, e.opts.MaxEdges) {
+					var emitErr error
+					walkErr := core.WalkConnections(ctx, e.graph, from, to, opts.MaxEdges, func(c core.Connection) bool {
 						if seen[c.Key()] {
-							continue
+							return true
 						}
 						seen[c.Key()] = true
-						if !e.covers(c, keywordTuples, keywords) {
-							continue
+						if !e.covers(c, keywordTuples, keywords, opts) {
+							return true
 						}
-						ans, err := e.buildAnswer(c, tupleKeywords, keywords)
-						if err != nil {
-							return nil, err
-						}
-						answers = append(answers, ans)
+						emitErr = emit(c)
+						return emitErr == nil
+					})
+					if emitErr != nil {
+						return emitErr
+					}
+					if walkErr != nil {
+						return walkErr
 					}
 				}
 			}
 		}
 	}
-	return e.finish(answers), nil
+	return nil
 }
 
 // covers reports whether the connection satisfies the keyword-coverage
 // semantics configured in the options.
-func (e *Engine) covers(c core.Connection, keywordTuples map[string]map[relation.TupleID]bool, keywords []string) bool {
-	if !e.opts.RequireAllKeywords {
+func (e *Engine) covers(c core.Connection, keywordTuples map[string]map[relation.TupleID]bool, keywords []string, opts Options) bool {
+	if !opts.RequireAllKeywords {
 		return true
 	}
 	for _, kw := range keywords {
@@ -230,13 +307,13 @@ func (e *Engine) covers(c core.Connection, keywordTuples map[string]map[relation
 	return true
 }
 
-func (e *Engine) buildAnswer(c core.Connection, tupleKeywords map[relation.TupleID][]string, keywords []string) (Answer, error) {
+func (e *Engine) buildAnswer(ctx context.Context, c core.Connection, tupleKeywords map[relation.TupleID][]string, keywords []string, opts Options) (Answer, error) {
 	var (
 		an  core.Analysis
 		err error
 	)
-	if e.opts.InstanceCorroboration {
-		an, err = e.analyzer.AnalyzeWithInstance(c, e.graph)
+	if opts.InstanceCorroboration {
+		an, err = e.analyzer.AnalyzeWithInstanceContext(ctx, c, e.graph)
 	} else {
 		an, err = e.analyzer.Analyze(c)
 	}
@@ -254,15 +331,15 @@ func (e *Engine) buildAnswer(c core.Connection, tupleKeywords map[relation.Tuple
 	return Answer{Connection: c, Analysis: an, Matches: matched, ContentScore: content}, nil
 }
 
-func (e *Engine) finish(answers []Answer) []Answer {
+func finish(answers []Answer, opts Options) []Answer {
 	sort.Slice(answers, func(i, j int) bool {
 		if answers[i].Connection.RDBLength() != answers[j].Connection.RDBLength() {
 			return answers[i].Connection.RDBLength() < answers[j].Connection.RDBLength()
 		}
 		return answers[i].Connection.Key() < answers[j].Connection.Key()
 	})
-	if e.opts.MaxResults > 0 && len(answers) > e.opts.MaxResults {
-		answers = answers[:e.opts.MaxResults]
+	if opts.MaxResults > 0 && len(answers) > opts.MaxResults {
+		answers = answers[:opts.MaxResults]
 	}
 	return answers
 }

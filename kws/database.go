@@ -9,12 +9,26 @@
 // strategies, each annotated with its relational and conceptual (ER) length
 // and its close/loose association verdict.
 //
-//	db := kws.PaperExample()
-//	engine, _ := kws.Open(db, kws.Config{Ranking: kws.RankCloseFirst})
-//	results, _ := engine.Search("Smith", "XML")
+// One Engine is goroutine-safe and serves many concurrent queries; every
+// option travels per call in the Query, and the context cancels long
+// enumerations:
+//
+//	engine, _ := kws.New(kws.PaperExample(), kws.WithLabeler(kws.PaperLabeler()))
+//	results, _ := engine.Search(ctx, kws.Query{
+//		Keywords: []string{"Smith", "XML"},
+//		Ranking:  kws.RankCloseFirst,
+//		MaxJoins: 3,
+//	})
 //	for _, r := range results {
 //		fmt.Println(r.Rank, r.Connection, r.Close, r.ERLength)
 //	}
+//
+// Results can also be consumed incrementally, before the enumeration
+// finishes, with Engine.Stream (callback) or Engine.Results (iterator);
+// streamed results arrive unranked, in discovery order. Additional search
+// engines and ranking strategies plug in through RegisterEngine and
+// RegisterRanker. The deprecated Open / LegacyEngine.Search shim keeps the
+// batch, frozen-configuration API of earlier releases compiling.
 package kws
 
 import (

@@ -1,60 +1,26 @@
 package kws
 
 import (
+	"context"
 	"fmt"
+	"iter"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/datagraph"
 	"repro/internal/index"
-	"repro/internal/paperdb"
 	"repro/internal/ranking"
-	"repro/internal/relation"
-	"repro/internal/search/banks"
-	"repro/internal/search/mtjnt"
-	"repro/internal/search/paths"
 )
 
-// Ranking strategy names accepted by Config.Ranking.
-const (
-	// RankRDBLength ranks by the number of joins in the relational
-	// database (the conventional length-based ranking).
-	RankRDBLength = "rdb-length"
-	// RankERLength ranks by conceptual length: middle relations
-	// implementing N:M relationships do not count.
-	RankERLength = "er-length"
-	// RankCloseFirst ranks close associations first, then corroborated
-	// loose ones, then the rest, breaking ties by conceptual length.
-	RankCloseFirst = "close-first"
-	// RankLoosenessPenalty ranks by conceptual length plus a penalty per
-	// transitive N:M sub-path.
-	RankLoosenessPenalty = "looseness-penalty"
-	// RankHubPenalty additionally charges for the tuples associated by
-	// every general-entity hub at the instance level.
-	RankHubPenalty = "hub-penalty"
-	// RankCombined mixes conceptual length with the TF-IDF content score.
-	RankCombined = "combined"
-)
-
-// Search engine names accepted by Config.Engine.
-const (
-	// EnginePaths enumerates every connection between keyword tuples up to
-	// the join budget (the paper's proposal).
-	EnginePaths = "paths"
-	// EngineMTJNT returns only minimal total joining networks of tuples
-	// (the DISCOVER baseline).
-	EngineMTJNT = "mtjnt"
-	// EngineBANKS runs backward expanding search (the BANKS baseline);
-	// only its path-shaped answers are returned.
-	EngineBANKS = "banks"
-)
-
-// Config tunes an Engine.
+// Config carries the default per-query options of an Engine; every field can
+// be overridden per call through Query.
 type Config struct {
-	// Engine selects the search strategy; it defaults to EnginePaths.
-	Engine string
-	// Ranking selects the ranking strategy; it defaults to RankCloseFirst.
-	Ranking string
-	// MaxJoins is the connection budget in joins; it defaults to 5.
+	// Engine selects the default search strategy; it defaults to EnginePaths.
+	Engine EngineKind
+	// Ranking selects the default ranking strategy; it defaults to
+	// RankCloseFirst.
+	Ranking RankStrategy
+	// MaxJoins is the default connection budget in joins; it defaults to 5.
 	MaxJoins int
 	// TopK caps the number of results (0 = all).
 	TopK int
@@ -64,11 +30,15 @@ type Config struct {
 	// LoosenessLambda is the penalty per transitive N:M sub-path used by
 	// RankLoosenessPenalty; it defaults to 1.
 	LoosenessLambda float64
+	// Labeler renders tuple identifiers in results; it defaults to
+	// TupleID.String. Use PaperLabeler for the paper's running example.
+	Labeler Labeler
 }
 
 // Result is one ranked answer.
 type Result struct {
-	// Rank is the 1-based position under the configured ranking.
+	// Rank is the 1-based position under the query's ranking. Streamed
+	// results are unranked: Rank is 0 and Score is unset.
 	Rank int
 	// Score is the ranking cost (lower is better).
 	Score float64
@@ -98,26 +68,71 @@ type Result struct {
 	ContentScore float64
 }
 
-// Engine answers keyword queries over one database.
+// Engine answers keyword queries over one database. A single Engine is
+// goroutine-safe and serves many concurrent queries, each with its own
+// engine kind, ranking strategy and budgets (see Query); the expensive
+// substrates — data graph, keyword index, association analyzer — are built
+// once and shared, while per-kind searchers are constructed lazily by the
+// registered factories and cached.
 type Engine struct {
-	cfg      Config
-	db       *relation.Database
-	graph    *datagraph.Graph
-	idx      *index.Index
-	analyzer *core.Analyzer
-	paths    *paths.Engine
-	mtjnt    *mtjnt.Engine
-	banks    *banks.Engine
-	scorer   ranking.Scorer
-	labeler  func(relation.TupleID) string
+	defaults Config
+	labeler  Labeler
+	comp     Components
+
+	mu        sync.Mutex
+	searchers map[EngineKind]Searcher
 }
 
-// Open prepares an engine for the database: it derives the conceptual
-// schema, builds the tuple graph and the keyword index, and validates the
-// configuration.
-func Open(db *Database, cfg Config) (*Engine, error) {
+// Option configures an Engine at construction.
+type Option func(*Config)
+
+// WithDefaults sets the engine's default per-query options. Only the fields
+// set in cfg are applied (zero values inherit, as everywhere else), so it
+// composes with the other options in any order.
+func WithDefaults(cfg Config) Option {
+	return func(c *Config) {
+		if cfg.Engine != "" {
+			c.Engine = cfg.Engine
+		}
+		if cfg.Ranking != "" {
+			c.Ranking = cfg.Ranking
+		}
+		if cfg.MaxJoins > 0 {
+			c.MaxJoins = cfg.MaxJoins
+		}
+		if cfg.TopK != 0 {
+			c.TopK = cfg.TopK
+		}
+		if cfg.DisableInstanceChecks {
+			c.DisableInstanceChecks = true
+		}
+		if cfg.LoosenessLambda != 0 {
+			c.LoosenessLambda = cfg.LoosenessLambda
+		}
+		if cfg.Labeler != nil {
+			c.Labeler = cfg.Labeler
+		}
+	}
+}
+
+// WithLabeler sets the engine's default labeler for rendering tuple
+// identifiers in results; individual queries can still override it through
+// Query.Labeler.
+func WithLabeler(l Labeler) Option {
+	return func(c *Config) { c.Labeler = l }
+}
+
+// New prepares an engine for the database: it validates the configured
+// defaults against the registries (before any expensive construction),
+// checks the database, derives the conceptual schema, and builds the tuple
+// graph and the keyword index.
+func New(db *Database, opts ...Option) (*Engine, error) {
 	if db == nil {
 		return nil, fmt.Errorf("kws: nil database")
+	}
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
 	}
 	if cfg.Engine == "" {
 		cfg.Engine = EnginePaths
@@ -128,6 +143,14 @@ func Open(db *Database, cfg Config) (*Engine, error) {
 	if cfg.MaxJoins <= 0 {
 		cfg.MaxJoins = 5
 	}
+	// Validate the configured names first: an unknown engine or ranking
+	// must fail before the graph, the index and the analyzer are built.
+	if _, err := engineFactory(cfg.Engine); err != nil {
+		return nil, err
+	}
+	if _, err := rankerFactory(cfg.Ranking); err != nil {
+		return nil, err
+	}
 	inner := db.internalDB()
 	if err := inner.Validate(); err != nil {
 		return nil, err
@@ -136,182 +159,206 @@ func Open(db *Database, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{
-		cfg:      cfg,
-		db:       inner,
-		graph:    datagraph.Build(inner),
-		idx:      index.Build(inner),
-		analyzer: analyzer,
-		labeler:  defaultLabeler(inner),
+	labeler := cfg.Labeler
+	if labeler == nil {
+		labeler = func(id TupleID) string { return id.String() }
 	}
-	e.scorer, err = scorerFor(cfg)
+	return &Engine{
+		defaults: cfg,
+		labeler:  labeler,
+		comp: Components{
+			DB:       inner,
+			Graph:    datagraph.Build(inner),
+			Index:    index.Build(inner),
+			Analyzer: analyzer,
+		},
+		searchers: make(map[EngineKind]Searcher),
+	}, nil
+}
+
+// resolve fills a query's zero options from the engine defaults. The engine
+// kind is validated by the searcher lookup that follows every resolve;
+// ranking is validated by scorerFor on the paths that rank.
+func (e *Engine) resolve(q Query) (Query, error) {
+	if len(q.Keywords) == 0 {
+		return q, fmt.Errorf("kws: empty query")
+	}
+	if q.Engine == "" {
+		q.Engine = e.defaults.Engine
+	}
+	if q.Ranking == "" {
+		q.Ranking = e.defaults.Ranking
+	}
+	if q.MaxJoins <= 0 {
+		q.MaxJoins = e.defaults.MaxJoins
+	}
+	if q.TopK == 0 {
+		q.TopK = e.defaults.TopK
+	}
+	if q.InstanceChecks == ToggleDefault {
+		if e.defaults.DisableInstanceChecks {
+			q.InstanceChecks = ToggleOff
+		} else {
+			q.InstanceChecks = ToggleOn
+		}
+	}
+	if q.LoosenessLambda == 0 {
+		q.LoosenessLambda = e.defaults.LoosenessLambda
+	}
+	if q.Labeler == nil {
+		q.Labeler = e.labeler
+	}
+	return q, nil
+}
+
+// scorerFor builds the scorer of a resolved query through the registered
+// ranker factory.
+func (e *Engine) scorerFor(q Query) (ranking.Scorer, error) {
+	rf, err := rankerFactory(q.Ranking)
 	if err != nil {
 		return nil, err
 	}
-	pathOpts := paths.Options{
-		MaxEdges:              cfg.MaxJoins,
-		RequireAllKeywords:    true,
-		InstanceCorroboration: !cfg.DisableInstanceChecks,
-	}
-	if e.paths, err = paths.NewWithComponents(inner, e.graph, e.idx, analyzer, pathOpts); err != nil {
-		return nil, err
-	}
-	if e.mtjnt, err = mtjnt.NewWithComponents(inner, e.graph, e.idx, mtjnt.Options{MaxEdges: cfg.MaxJoins}); err != nil {
-		return nil, err
-	}
-	if e.banks, err = banks.NewWithComponents(inner, e.graph, e.idx, banks.Options{MaxDepth: cfg.MaxJoins, MaxResults: 100}); err != nil {
-		return nil, err
-	}
-	switch cfg.Engine {
-	case EnginePaths, EngineMTJNT, EngineBANKS:
-	default:
-		return nil, fmt.Errorf("kws: unknown engine %q", cfg.Engine)
-	}
-	return e, nil
-}
-
-func scorerFor(cfg Config) (ranking.Scorer, error) {
-	switch cfg.Ranking {
-	case RankRDBLength:
-		return ranking.RDBLength{}, nil
-	case RankERLength:
-		return ranking.ERLength{}, nil
-	case RankCloseFirst:
-		return ranking.CloseFirst{}, nil
-	case RankLoosenessPenalty:
-		return ranking.LoosenessPenalty{Lambda: cfg.LoosenessLambda}, nil
-	case RankHubPenalty:
-		return ranking.HubPenalty{}, nil
-	case RankCombined:
-		return ranking.Combined{Structure: ranking.ERLength{}}, nil
-	default:
-		return nil, fmt.Errorf("kws: unknown ranking strategy %q", cfg.Ranking)
-	}
-}
-
-// defaultLabeler labels tuples with the paper's labels for the running
-// example and with "RELATION[key]" otherwise.
-func defaultLabeler(db *relation.Database) func(relation.TupleID) string {
-	if db.Name == "company" {
-		return paperdb.DisplayLabel
-	}
-	return func(id relation.TupleID) string { return id.String() }
-}
-
-// Search answers the keyword query and returns ranked results.
-func (e *Engine) Search(keywords ...string) ([]Result, error) {
-	if len(keywords) == 0 {
-		return nil, fmt.Errorf("kws: empty query")
-	}
-	answers, err := e.collect(keywords)
+	scorer, err := rf(q)
 	if err != nil {
+		return nil, fmt.Errorf("kws: ranking %q: %w", q.Ranking, err)
+	}
+	return scorer, nil
+}
+
+// searcher returns the cached searcher of the kind, building it through the
+// registered factory on first use. The factory runs outside the lock so a
+// slow first-use construction of one kind never stalls concurrent queries of
+// the others; racing builders are possible but harmless — the first result
+// cached wins.
+func (e *Engine) searcher(kind EngineKind) (Searcher, error) {
+	e.mu.Lock()
+	s, ok := e.searchers[kind]
+	e.mu.Unlock()
+	if ok {
+		return s, nil
+	}
+	f, err := engineFactory(kind)
+	if err != nil {
+		return nil, err
+	}
+	built, err := f(e.comp)
+	if err != nil {
+		return nil, fmt.Errorf("kws: engine %q: %w", kind, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.searchers[kind]; ok {
+		return s, nil
+	}
+	e.searchers[kind] = built
+	return built, nil
+}
+
+// Search answers the query and returns its ranked results. It is safe to
+// call concurrently with any mix of per-query options; a cancelled context
+// aborts the enumeration and returns ctx.Err().
+func (e *Engine) Search(ctx context.Context, q Query) ([]Result, error) {
+	rq, err := e.resolve(q)
+	if err != nil {
+		return nil, err
+	}
+	scorer, err := e.scorerFor(rq)
+	if err != nil {
+		return nil, err
+	}
+	s, err := e.searcher(rq.Engine)
+	if err != nil {
+		return nil, err
+	}
+	var answers []Answer
+	if err := s.Stream(ctx, rq, func(a Answer) bool {
+		answers = append(answers, a)
+		return true
+	}); err != nil {
 		return nil, err
 	}
 	items := make([]ranking.Item, len(answers))
 	for i, a := range answers {
 		items[i] = ranking.Item{Analysis: a.Analysis, Content: a.ContentScore}
 	}
-	ranked := ranking.TopK(items, e.scorer, e.cfg.TopK)
-	byKey := make(map[string]paths.Answer, len(answers))
+	ranked := ranking.TopK(items, scorer, rq.TopK)
+	byKey := make(map[string]Answer, len(answers))
 	for _, a := range answers {
 		byKey[a.Connection.Key()] = a
 	}
 	results := make([]Result, 0, len(ranked))
 	for _, rk := range ranked {
 		a := byKey[rk.Item.Analysis.Connection.Key()]
-		results = append(results, e.toResult(a, rk))
+		results = append(results, toResult(a, rk.Rank, rk.Score, rq.Labeler))
 	}
 	return results, nil
 }
 
-// collect runs the configured engine and normalises its answers into path
-// answers with full analyses.
-func (e *Engine) collect(keywords []string) ([]paths.Answer, error) {
-	switch e.cfg.Engine {
-	case EngineMTJNT:
-		nets, err := e.mtjnt.Search(keywords)
-		if err != nil {
-			return nil, err
+// Stream answers the query incrementally: each result is handed to yield as
+// soon as the search engine produces it, in discovery order and without
+// ranking (Rank and Score are unset, and Query.Ranking is not consulted —
+// ranking needs the full result set; use Search for ranked output). The
+// stream stops when yield returns false, when TopK results have been
+// delivered, or when the context is cancelled — in which case ctx.Err() is
+// returned.
+func (e *Engine) Stream(ctx context.Context, q Query, yield func(Result) bool) error {
+	rq, err := e.resolve(q)
+	if err != nil {
+		return err
+	}
+	s, err := e.searcher(rq.Engine)
+	if err != nil {
+		return err
+	}
+	delivered := 0
+	return s.Stream(ctx, rq, func(a Answer) bool {
+		if !yield(toResult(a, 0, 0, rq.Labeler)) {
+			return false
 		}
-		return e.annotate(extractConnections(nets), keywords)
-	case EngineBANKS:
-		trees, err := e.banks.Search(keywords)
-		if err != nil {
-			return nil, err
-		}
-		var conns []core.Connection
-		for _, t := range trees {
-			if c, ok := t.AsConnection(); ok {
-				conns = append(conns, c)
-			} else if len(t.Nodes) == 1 {
-				if c, err := core.NewConnection(t.Nodes[0], nil); err == nil {
-					conns = append(conns, c)
-				}
+		delivered++
+		return rq.TopK <= 0 || delivered < rq.TopK
+	})
+}
+
+// Results returns the query's streamed results as an iterator:
+//
+//	for r, err := range engine.Results(ctx, q) {
+//		if err != nil { ... }
+//		fmt.Println(r.Connection)
+//	}
+//
+// Like Stream, results arrive unranked in discovery order; a non-nil error
+// (including ctx.Err() on cancellation) is yielded as the final element.
+func (e *Engine) Results(ctx context.Context, q Query) iter.Seq2[Result, error] {
+	return func(yield func(Result, error) bool) {
+		stopped := false
+		err := e.Stream(ctx, q, func(r Result) bool {
+			if !yield(r, nil) {
+				stopped = true
+				return false
 			}
+			return true
+		})
+		if err != nil && !stopped {
+			yield(Result{}, err)
 		}
-		return e.annotate(conns, keywords)
-	default:
-		return e.paths.Search(keywords)
 	}
 }
 
-func extractConnections(nets []mtjnt.Network) []core.Connection {
-	out := make([]core.Connection, 0, len(nets))
-	for _, n := range nets {
-		out = append(out, n.Connection)
-	}
-	return out
-}
-
-// annotate turns plain connections into fully analysed answers.
-func (e *Engine) annotate(conns []core.Connection, keywords []string) ([]paths.Answer, error) {
-	tupleKeywords := make(map[relation.TupleID][]string)
-	for _, kw := range keywords {
-		for id := range e.idx.KeywordTuples(kw) {
-			tupleKeywords[id] = append(tupleKeywords[id], kw)
-		}
-	}
-	out := make([]paths.Answer, 0, len(conns))
-	for _, c := range conns {
-		var (
-			an  core.Analysis
-			err error
-		)
-		if e.cfg.DisableInstanceChecks {
-			an, err = e.analyzer.Analyze(c)
-		} else {
-			an, err = e.analyzer.AnalyzeWithInstance(c, e.graph)
-		}
-		if err != nil {
-			return nil, err
-		}
-		matched := make(map[relation.TupleID][]string)
-		content := 0.0
-		for _, t := range c.Tuples {
-			if kws := tupleKeywords[t]; len(kws) > 0 {
-				matched[t] = append([]string(nil), kws...)
-			}
-			content += e.idx.ContentScore(t, keywords)
-		}
-		out = append(out, paths.Answer{Connection: c, Analysis: an, Matches: matched, ContentScore: content})
-	}
-	return out, nil
-}
-
-func (e *Engine) toResult(a paths.Answer, rk ranking.Ranked) Result {
+func toResult(a Answer, rank int, score float64, label Labeler) Result {
 	tuples := make([]string, len(a.Connection.Tuples))
 	for i, t := range a.Connection.Tuples {
-		tuples[i] = e.labeler(t)
+		tuples[i] = label(t)
 	}
 	matched := make(map[string][]string, len(a.Matches))
 	for id, kws := range a.Matches {
-		matched[e.labeler(id)] = append([]string(nil), kws...)
+		matched[label(id)] = append([]string(nil), kws...)
 	}
 	return Result{
-		Rank:                        rk.Rank,
-		Score:                       rk.Score,
-		Connection:                  a.Connection.Format(e.labeler, a.Matches),
-		ConnectionWithCardinalities: a.Analysis.FormatWithCardinalities(e.labeler, a.Matches),
+		Rank:                        rank,
+		Score:                       score,
+		Connection:                  a.Connection.Format(label, a.Matches),
+		ConnectionWithCardinalities: a.Analysis.FormatWithCardinalities(label, a.Matches),
 		Tuples:                      tuples,
 		MatchedKeywords:             matched,
 		RDBLength:                   a.Analysis.RDBLength,
@@ -328,7 +375,7 @@ func (e *Engine) toResult(a paths.Answer, rk ranking.Ranked) Result {
 // useful for exploring a database before searching.
 func (e *Engine) Match(keyword string) []string {
 	var out []string
-	for _, m := range e.idx.Match(keyword) {
+	for _, m := range e.comp.Index.Match(keyword) {
 		out = append(out, e.labeler(m.Tuple))
 	}
 	return out
@@ -336,6 +383,6 @@ func (e *Engine) Match(keyword string) []string {
 
 // Stats summarises the opened database.
 func (e *Engine) Stats() (relations, tuples, edges int) {
-	st := e.db.Stats()
-	return st.Relations, st.Tuples, e.graph.EdgeCount()
+	st := e.comp.DB.Stats()
+	return st.Relations, st.Tuples, e.comp.Graph.EdgeCount()
 }

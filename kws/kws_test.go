@@ -158,7 +158,7 @@ func TestOpenAndSearchPaperExample(t *testing.T) {
 }
 
 func TestSearchRankingStrategies(t *testing.T) {
-	for _, strategy := range []string{RankRDBLength, RankERLength, RankCloseFirst, RankLoosenessPenalty, RankHubPenalty, RankCombined} {
+	for _, strategy := range []RankStrategy{RankRDBLength, RankERLength, RankCloseFirst, RankLoosenessPenalty, RankHubPenalty, RankCombined} {
 		engine, err := Open(PaperExample(), Config{Ranking: strategy, MaxJoins: 3})
 		if err != nil {
 			t.Fatalf("Open(%s): %v", strategy, err)
@@ -171,8 +171,9 @@ func TestSearchRankingStrategies(t *testing.T) {
 			t.Errorf("%s: results = %d", strategy, len(results))
 		}
 	}
-	// ER length promotes connection 2 into the top ranks.
-	engine, _ := Open(PaperExample(), Config{Ranking: RankERLength, MaxJoins: 3})
+	// ER length promotes connection 2 into the top ranks. The paper labels
+	// (w_f1, ...) are opt-in now, through the Labeler option.
+	engine, _ := Open(PaperExample(), Config{Ranking: RankERLength, MaxJoins: 3, Labeler: PaperLabeler()})
 	results, _ := engine.Search("Smith", "XML")
 	top3 := results[:3]
 	found := false

@@ -1,0 +1,34 @@
+package kws
+
+import "context"
+
+// LegacyEngine is the batch, single-configuration facade of earlier
+// releases: every option is frozen at Open and Search takes bare keywords.
+// It is a thin shim over Engine — the embedded Engine is fully usable, so a
+// LegacyEngine also serves context-aware per-query calls.
+//
+// Deprecated: use New and Engine.Search(ctx, Query) instead.
+type LegacyEngine struct {
+	*Engine
+}
+
+// Open prepares an engine for the database with the options frozen into the
+// configuration, as in earlier releases.
+//
+// Deprecated: use New, optionally with WithDefaults and WithLabeler;
+// per-query options arrive through Query.
+func Open(db *Database, cfg Config) (*LegacyEngine, error) {
+	e, err := New(db, WithDefaults(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return &LegacyEngine{Engine: e}, nil
+}
+
+// Search answers the keyword query under the configuration frozen at Open
+// and returns ranked results.
+//
+// Deprecated: use Engine.Search(ctx, Query).
+func (le *LegacyEngine) Search(keywords ...string) ([]Result, error) {
+	return le.Engine.Search(context.Background(), Query{Keywords: keywords})
+}

@@ -1,0 +1,195 @@
+package kws
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/datagraph"
+	"repro/internal/index"
+	"repro/internal/ranking"
+	"repro/internal/relation"
+	"repro/internal/search/paths"
+)
+
+// Answer is the raw currency flowing from searchers into the ranking layer:
+// a connection with its association analysis, per-tuple keyword matches and
+// content score. It is shared with the paths engine.
+type Answer = paths.Answer
+
+// Scorer is the ranking interface a RankerFactory returns: a cost per item,
+// lower ranking first. It aliases the internal ranking interface so custom
+// strategies can be implemented outside this module — declare the method as
+// Score(kws.RankItem) float64.
+type Scorer = ranking.Scorer
+
+// RankItem is the input to a Scorer: the association analysis of one answer
+// plus its TF-IDF content score.
+type RankItem = ranking.Item
+
+// Components are the shared, immutable substrates of an open Engine: the
+// validated database, its tuple graph, its keyword index and the association
+// analyzer. Engine factories receive them once and may capture them; they
+// are safe for concurrent use.
+type Components struct {
+	DB       *relation.Database
+	Graph    *datagraph.Graph
+	Index    *index.Index
+	Analyzer *core.Analyzer
+}
+
+// Searcher is one search strategy bound to an Engine's components. A
+// Searcher must be goroutine-safe: one instance serves every concurrent
+// query of its kind, with per-query options arriving in the resolved Query.
+type Searcher interface {
+	// Stream enumerates the answers of the query and hands each one to
+	// yield as it is produced, stopping when yield returns false or the
+	// context is cancelled (returning ctx.Err()). The Query it receives has
+	// all defaults resolved (MaxJoins set, InstanceChecks On or Off).
+	Stream(ctx context.Context, q Query, yield func(Answer) bool) error
+}
+
+// EngineFactory builds the Searcher of one engine kind over the shared
+// components. Factories run lazily — on the first query using their kind —
+// and their result is cached per Engine.
+type EngineFactory func(c Components) (Searcher, error)
+
+// RankerFactory builds the scorer of one ranking strategy for a query.
+// Factories run per query, so strategies can read per-call knobs such as
+// Query.LoosenessLambda; scorers must be stateless or goroutine-safe.
+type RankerFactory func(q Query) (ranking.Scorer, error)
+
+// registry holds the process-wide engine and ranker factories.
+var registry = struct {
+	sync.RWMutex
+	engines map[EngineKind]EngineFactory
+	rankers map[RankStrategy]RankerFactory
+}{
+	engines: make(map[EngineKind]EngineFactory),
+	rankers: make(map[RankStrategy]RankerFactory),
+}
+
+// RegisterEngine makes a search strategy available under the kind, replacing
+// any previous registration. It panics on an empty kind or nil factory.
+// Engines opened before the call pick the new factory up on the first query
+// that uses the kind (cached searchers are not invalidated).
+func RegisterEngine(kind EngineKind, f EngineFactory) {
+	if kind == "" || f == nil {
+		panic("kws: RegisterEngine requires a kind and a factory")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	registry.engines[kind] = f
+}
+
+// RegisterRanker makes a ranking strategy available under the name,
+// replacing any previous registration. It panics on an empty name or nil
+// factory.
+func RegisterRanker(name RankStrategy, f RankerFactory) {
+	if name == "" || f == nil {
+		panic("kws: RegisterRanker requires a name and a factory")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	registry.rankers[name] = f
+}
+
+// RegisteredEngines returns the registered engine kinds, sorted.
+func RegisteredEngines() []EngineKind {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]EngineKind, 0, len(registry.engines))
+	for k := range registry.engines {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RegisteredRankers returns the registered ranking strategies, sorted.
+func RegisteredRankers() []RankStrategy {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]RankStrategy, 0, len(registry.rankers))
+	for k := range registry.rankers {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NewSearcher builds the registered searcher of the kind over the given
+// components. It is the composition hook for custom engine factories, which
+// can wrap a built-in strategy instead of reimplementing it:
+//
+//	kws.RegisterEngine("close-only", func(c kws.Components) (kws.Searcher, error) {
+//		inner, err := kws.NewSearcher(kws.EnginePaths, c)
+//		...
+//	})
+func NewSearcher(kind EngineKind, c Components) (Searcher, error) {
+	f, err := engineFactory(kind)
+	if err != nil {
+		return nil, err
+	}
+	return f(c)
+}
+
+// engineFactory resolves an engine kind, with a list of the registered kinds
+// in the error to make typos cheap to diagnose.
+func engineFactory(kind EngineKind) (EngineFactory, error) {
+	registry.RLock()
+	f, ok := registry.engines[kind]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("kws: unknown engine %q (registered: %s)", kind, joinKinds(RegisteredEngines()))
+	}
+	return f, nil
+}
+
+// rankerFactory resolves a ranking strategy, with a list of the registered
+// strategies in the error.
+func rankerFactory(name RankStrategy) (RankerFactory, error) {
+	registry.RLock()
+	f, ok := registry.rankers[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("kws: unknown ranking strategy %q (registered: %s)", name, joinStrategies(RegisteredRankers()))
+	}
+	return f, nil
+}
+
+func joinKinds(ks []EngineKind) string {
+	parts := make([]string, len(ks))
+	for i, k := range ks {
+		parts[i] = string(k)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func joinStrategies(ss []RankStrategy) string {
+	parts := make([]string, len(ss))
+	for i, s := range ss {
+		parts[i] = string(s)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func init() {
+	RegisterEngine(EnginePaths, newPathsSearcher)
+	RegisterEngine(EngineMTJNT, newMTJNTSearcher)
+	RegisterEngine(EngineBANKS, newBANKSSearcher)
+
+	RegisterRanker(RankRDBLength, func(Query) (ranking.Scorer, error) { return ranking.RDBLength{}, nil })
+	RegisterRanker(RankERLength, func(Query) (ranking.Scorer, error) { return ranking.ERLength{}, nil })
+	RegisterRanker(RankCloseFirst, func(Query) (ranking.Scorer, error) { return ranking.CloseFirst{}, nil })
+	RegisterRanker(RankLoosenessPenalty, func(q Query) (ranking.Scorer, error) {
+		return ranking.LoosenessPenalty{Lambda: q.LoosenessLambda}, nil
+	})
+	RegisterRanker(RankHubPenalty, func(Query) (ranking.Scorer, error) { return ranking.HubPenalty{}, nil })
+	RegisterRanker(RankCombined, func(Query) (ranking.Scorer, error) {
+		return ranking.Combined{Structure: ranking.ERLength{}}, nil
+	})
+}
