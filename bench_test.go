@@ -402,6 +402,156 @@ func BenchmarkPublicAPIStream(b *testing.B) {
 	}
 }
 
+// Parallel-execution benchmarks: the same work at worker counts 1 (the
+// sequential baseline) and 0 (GOMAXPROCS), so the build/search/batch
+// speedups stay recorded in the perf trajectory. Outputs are deterministic
+// at every worker count (see the determinism tests), so the sub-benchmarks
+// do identical work.
+
+// BenchmarkDataGraphBuildParallel measures the per-table fan-out of the
+// tuple-graph build against the sequential path.
+func BenchmarkDataGraphBuildParallel(b *testing.B) {
+	db := workload.MustGenerate(workload.ScaledConfig(8, 42))
+	for _, workers := range []int{1, 0} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := datagraph.BuildParallel(db, workers)
+				if g.NodeCount() == 0 {
+					b.Fatal("empty graph")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIndexBuildParallel measures the per-table fan-out of the inverted
+// index build against the sequential path.
+func BenchmarkIndexBuildParallel(b *testing.B) {
+	db := workload.MustGenerate(workload.ScaledConfig(8, 42))
+	for _, workers := range []int{1, 0} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				idx := index.BuildParallel(db, workers)
+				if idx.DocCount() == 0 {
+					b.Fatal("empty index")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBANKSParallelExpansion measures the parallel per-keyword
+// expansions of the BANKS engine against the sequential path.
+func BenchmarkBANKSParallelExpansion(b *testing.B) {
+	db := workload.MustGenerate(workload.ScaledConfig(4, 42))
+	engine, err := banks.NewWithComponents(db, datagraph.Build(db), index.Build(db), banks.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	queries := benchSearchableQueries(b, func(kws []string) error {
+		_, err := engine.SearchContext(ctx, kws, banks.Options{MaxDepth: 3, MaxResults: 20, Parallelism: 1})
+		return err
+	})
+	for _, workers := range []int{1, 0} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := engine.SearchContext(ctx, q.Keywords, banks.Options{
+						MaxDepth: 3, MaxResults: 20, Parallelism: workers,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPathsParallelEnumeration measures the bounded per-source fan-out
+// of the paths engine against the sequential walk.
+func BenchmarkPathsParallelEnumeration(b *testing.B) {
+	db := workload.MustGenerate(workload.ScaledConfig(2, 42))
+	analyzer, err := core.Derive(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := paths.NewWithComponents(db, datagraph.Build(db), index.Build(db), analyzer, paths.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	queries := benchSearchableQueries(b, func(kws []string) error {
+		_, err := engine.SearchContext(ctx, kws, paths.Options{MaxEdges: 3, RequireAllKeywords: true, Parallelism: 1})
+		return err
+	})
+	for _, workers := range []int{1, 0} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := engine.SearchContext(ctx, q.Keywords, paths.Options{
+						MaxEdges: 3, RequireAllKeywords: true, Parallelism: workers,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// benchSearchableQueries filters the generated workload queries down to the
+// ones the engine under test can answer, so the timed loops never measure
+// the immediate-error path; it fails the benchmark when nothing is left.
+func benchSearchableQueries(b *testing.B, probe func(keywords []string) error) []workload.Query {
+	b.Helper()
+	var out []workload.Query
+	for _, q := range workload.Queries(4, 42) {
+		if probe(q.Keywords) == nil {
+			out = append(out, q)
+		}
+	}
+	if len(out) == 0 {
+		b.Fatal("no searchable benchmark queries")
+	}
+	return out
+}
+
+// BenchmarkSearchBatch measures serving a mixed batch of queries through
+// Engine.SearchBatch at batch parallelism 1 and GOMAXPROCS — the
+// millions-of-users serving shape.
+func BenchmarkSearchBatch(b *testing.B) {
+	queries := make([]kws.Query, 0, 16)
+	for _, q := range workload.Queries(16, 42) {
+		queries = append(queries, kws.Query{Keywords: q.Keywords, MaxJoins: 3})
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 0} {
+		engine, err := kws.New(kws.SyntheticCompany(2, 42), kws.WithParallelism(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the lazily built searcher outside the timed loop.
+		engine.SearchBatch(ctx, queries[:1])
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results := engine.SearchBatch(ctx, queries)
+				// Generated keywords may miss at small scales; require only
+				// that the batch answered something.
+				answered := 0
+				for _, r := range results {
+					if r.Err == nil {
+						answered++
+					}
+				}
+				if answered == 0 {
+					b.Fatal("no query in the batch succeeded")
+				}
+			}
+		})
+	}
+}
+
 func benchName(prefix string, n int) string {
 	return fmt.Sprintf("%s-%d", prefix, n)
 }

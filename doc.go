@@ -4,11 +4,20 @@
 //
 // The public API lives in the kws package: a goroutine-safe Engine serves
 // context-aware keyword queries — Engine.Search(ctx, Query) for ranked
-// batches, Engine.Stream / Engine.Results for incremental consumption — and
-// every per-query option (engine kind, ranking strategy, join budget, TopK,
-// instance checks, labeler) travels in the Query, so one Engine handles many
-// concurrent callers with different settings. Search strategies and ranking
-// strategies are pluggable through kws.RegisterEngine and kws.RegisterRanker.
+// batches, Engine.Stream / Engine.Results for incremental consumption,
+// Engine.SearchBatch(ctx, []Query) for many queries at once — and every
+// per-query option (engine kind, ranking strategy, join budget, TopK,
+// instance checks, labeler, parallelism) travels in the Query, so one Engine
+// handles many concurrent callers with different settings. Search strategies
+// and ranking strategies are pluggable through kws.RegisterEngine and
+// kws.RegisterRanker.
+//
+// Concurrency and batching: substrate construction (kws.New, the tuple graph
+// and the inverted index), the BANKS keyword expansions and the paths
+// per-source enumerations all fan out across bounded worker pools with
+// deterministic merges, so results are identical at any parallelism;
+// kws.WithParallelism bounds the engine-wide concurrency (including how many
+// batched queries run at once) and Query.Parallelism overrides it per call.
 //
 // The paper's contribution (conceptual connection lengths and close/loose
 // association analysis) is implemented in internal/core on top of an

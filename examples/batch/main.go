@@ -1,0 +1,52 @@
+// Batch serving: answer many keyword queries in one SearchBatch call over a
+// shared engine. The engine is built with parallel substrate construction,
+// WithParallelism bounds how many queries run at once, and every query still
+// carries its own options — here each one picks a different search engine or
+// ranking. Failures are reported per query, never collapsed.
+//
+//	go run ./examples/batch
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/kws"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// kws.New builds the tuple graph and the keyword index concurrently,
+	// each fanning out per-table workers; WithParallelism(4) caps both that
+	// construction fan-out and the number of in-flight batched queries.
+	engine, err := kws.New(kws.PaperExample(),
+		kws.WithLabeler(kws.PaperLabeler()),
+		kws.WithParallelism(4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One batch, heterogeneous queries: different engines, rankings and
+	// budgets — plus a deliberately broken one to show per-query errors.
+	queries := []kws.Query{
+		{Keywords: []string{"Smith", "XML"}, Ranking: kws.RankCloseFirst, MaxJoins: 3},
+		{Keywords: []string{"Smith", "XML"}, Engine: kws.EngineMTJNT, MaxJoins: 3},
+		{Keywords: []string{"Smith", "XML"}, Engine: kws.EngineBANKS, MaxJoins: 3},
+		{Keywords: []string{"Alice", "XML"}, Ranking: kws.RankERLength, MaxJoins: 3},
+		{Keywords: []string{"zzz-no-such-keyword"}},
+	}
+
+	for i, br := range engine.SearchBatch(ctx, queries) {
+		fmt.Printf("query %d %v:\n", i+1, queries[i].Keywords)
+		if br.Err != nil {
+			fmt.Printf("  error: %v\n", br.Err)
+			continue
+		}
+		for _, r := range br.Results {
+			fmt.Printf("  %2d. %s\n", r.Rank, r.Connection)
+		}
+	}
+}

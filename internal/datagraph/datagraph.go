@@ -5,9 +5,11 @@
 package datagraph
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/relation"
 )
 
@@ -37,27 +39,48 @@ type Graph struct {
 	edgeCount int
 }
 
-// Build constructs the tuple graph of the database. Dangling references are
-// skipped (CheckIntegrity reports them); the graph only contains resolved
-// edges.
+// Build constructs the tuple graph of the database using one worker per
+// available CPU. Dangling references are skipped (CheckIntegrity reports
+// them); the graph only contains resolved edges.
 func Build(db *relation.Database) *Graph {
-	g := &Graph{db: db, adjacency: make(map[relation.TupleID][]Edge)}
-	for _, t := range db.Tables() {
+	return BuildParallel(db, 0)
+}
+
+// BuildParallel is Build with an explicit worker count: tables are resolved
+// by up to `workers` goroutines (0 or negative means GOMAXPROCS, 1 is the
+// fully sequential path) and their edge lists are merged in table order, so
+// the resulting graph is identical to a sequential build regardless of the
+// worker count.
+func BuildParallel(db *relation.Database, workers int) *Graph {
+	tables := db.Tables()
+	// Per-table workers: each resolves the outgoing foreign-key edges of one
+	// table. Workers only read the database and write their own slot.
+	perTable, _ := parallel.Map(context.Background(), workers, len(tables), func(_ context.Context, i int) ([]Edge, error) {
+		t := tables[i]
+		var edges []Edge
 		for _, fk := range t.Schema().ForeignKeys {
 			for _, tup := range t.Tuples() {
 				ref, ok := db.ReferencedTuple(tup, fk)
 				if !ok {
 					continue
 				}
-				e := Edge{From: tup.ID(), To: ref.ID(), ForeignKey: fk.Label()}
-				g.adjacency[e.From] = append(g.adjacency[e.From], e)
-				g.adjacency[e.To] = append(g.adjacency[e.To], e.Reverse())
-				g.edgeCount++
+				edges = append(edges, Edge{From: tup.ID(), To: ref.ID(), ForeignKey: fk.Label()})
 			}
+		}
+		return edges, nil
+	})
+	// Deterministic merge: table order first, then the per-table discovery
+	// order, exactly as the sequential loop appended them.
+	g := &Graph{db: db, adjacency: make(map[relation.TupleID][]Edge)}
+	for _, edges := range perTable {
+		for _, e := range edges {
+			g.adjacency[e.From] = append(g.adjacency[e.From], e)
+			g.adjacency[e.To] = append(g.adjacency[e.To], e.Reverse())
+			g.edgeCount++
 		}
 	}
 	// Ensure isolated tuples still appear as nodes.
-	for _, t := range db.Tables() {
+	for _, t := range tables {
 		for _, tup := range t.Tuples() {
 			if _, ok := g.adjacency[tup.ID()]; !ok {
 				g.adjacency[tup.ID()] = nil
@@ -65,15 +88,20 @@ func Build(db *relation.Database) *Graph {
 		}
 	}
 	// Sort adjacency lists for deterministic traversal.
+	ids := make([]relation.TupleID, 0, len(g.adjacency))
 	for id := range g.adjacency {
-		edges := g.adjacency[id]
+		ids = append(ids, id)
+	}
+	_ = parallel.ForEach(context.Background(), workers, len(ids), func(_ context.Context, i int) error {
+		edges := g.adjacency[ids[i]]
 		sort.Slice(edges, func(i, j int) bool {
 			if edges[i].To != edges[j].To {
 				return edges[i].To.Less(edges[j].To)
 			}
 			return edges[i].ForeignKey < edges[j].ForeignKey
 		})
-	}
+		return nil
+	})
 	return g
 }
 

@@ -1,0 +1,50 @@
+package datagraph
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/paperdb"
+	"repro/internal/workload"
+)
+
+// TestBuildParallelDeterminism asserts that the parallel per-table build
+// merges into exactly the structure the sequential path produces: same
+// nodes, same counts, and byte-identical sorted adjacency per node.
+func TestBuildParallelDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		seq  *Graph
+		pars []*Graph
+	}{
+		{
+			name: "paper",
+			seq:  BuildParallel(paperdb.MustLoad(), 1),
+			pars: []*Graph{BuildParallel(paperdb.MustLoad(), 4), Build(paperdb.MustLoad())},
+		},
+		{
+			name: "workload",
+			seq:  BuildParallel(workload.MustGenerate(workload.ScaledConfig(2, 42)), 1),
+			pars: []*Graph{BuildParallel(workload.MustGenerate(workload.ScaledConfig(2, 42)), 8)},
+		},
+	} {
+		for i, par := range tc.pars {
+			if got, want := par.NodeCount(), tc.seq.NodeCount(); got != want {
+				t.Fatalf("%s[%d]: NodeCount = %d, want %d", tc.name, i, got, want)
+			}
+			if got, want := par.EdgeCount(), tc.seq.EdgeCount(); got != want {
+				t.Fatalf("%s[%d]: EdgeCount = %d, want %d", tc.name, i, got, want)
+			}
+			nodes := tc.seq.Nodes()
+			if !reflect.DeepEqual(par.Nodes(), nodes) {
+				t.Fatalf("%s[%d]: node sets differ", tc.name, i)
+			}
+			for _, id := range nodes {
+				if !reflect.DeepEqual(par.Neighbors(id), tc.seq.Neighbors(id)) {
+					t.Fatalf("%s[%d]: adjacency of %s differs:\nparallel:   %v\nsequential: %v",
+						tc.name, i, id, par.Neighbors(id), tc.seq.Neighbors(id))
+				}
+			}
+		}
+	}
+}

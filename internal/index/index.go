@@ -1,10 +1,11 @@
 package index
 
 import (
+	"context"
 	"math"
 	"sort"
-	"strings"
 
+	"repro/internal/parallel"
 	"repro/internal/relation"
 )
 
@@ -36,20 +37,52 @@ type Index struct {
 
 // Build indexes every tuple of the database: all VARCHAR and TEXT attributes
 // that are not key or foreign-key columns (see relation.Schema.TextColumns)
-// are tokenized and added to the postings.
+// are tokenized and added to the postings. Tables are indexed by one worker
+// per available CPU.
 func Build(db *relation.Database) *Index {
+	return BuildParallel(db, 0)
+}
+
+// BuildParallel is Build with an explicit worker count: each table is
+// indexed by its own worker into a partial index (0 or negative workers
+// means GOMAXPROCS, 1 is the fully sequential path) and the partials are
+// merged afterwards. Tuples are disjoint across tables, so the merged index
+// is identical to a sequential build regardless of the worker count.
+func BuildParallel(db *relation.Database, workers int) *Index {
+	tables := db.Tables()
+	partials, _ := parallel.Map(context.Background(), workers, len(tables), func(_ context.Context, i int) (*Index, error) {
+		part := &Index{
+			postings: make(map[string]map[relation.TupleID]*posting),
+			docLen:   make(map[relation.TupleID]int),
+		}
+		for _, tup := range tables[i].Tuples() {
+			part.docCount++
+			for column, text := range tup.AttributeText() {
+				for _, term := range Tokenize(text) {
+					part.add(term, tup.ID(), column)
+				}
+			}
+		}
+		return part, nil
+	})
 	idx := &Index{
 		db:       db,
 		postings: make(map[string]map[relation.TupleID]*posting),
 		docLen:   make(map[relation.TupleID]int),
 	}
-	for _, t := range db.Tables() {
-		for _, tup := range t.Tuples() {
-			idx.docCount++
-			for column, text := range tup.AttributeText() {
-				for _, term := range Tokenize(text) {
-					idx.add(term, tup.ID(), column)
-				}
+	for _, part := range partials {
+		idx.docCount += part.docCount
+		for id, n := range part.docLen {
+			idx.docLen[id] = n
+		}
+		for term, byTuple := range part.postings {
+			have := idx.postings[term]
+			if have == nil {
+				idx.postings[term] = byTuple
+				continue
+			}
+			for id, p := range byTuple {
+				have[id] = p
 			}
 		}
 	}
@@ -78,9 +111,50 @@ func (idx *Index) DocCount() int { return idx.docCount }
 // TermCount returns the number of distinct terms in the index.
 func (idx *Index) TermCount() int { return len(idx.postings) }
 
-// DocFrequency returns the number of tuples containing the term.
+// DocFrequency returns the number of tuples containing the term. The term
+// is normalized with the same tokenizer that built the postings, so
+// punctuated inputs such as "XML-based" resolve to their indexed tokens
+// (a plain ToLower would silently report 0); an input that tokenizes into
+// several terms reports the number of tuples containing all of them,
+// consistent with Match's conjunctive semantics.
 func (idx *Index) DocFrequency(term string) int {
-	return len(idx.postings[strings.ToLower(term)])
+	terms := Tokenize(term)
+	switch len(terms) {
+	case 0:
+		return 0
+	case 1:
+		return len(idx.postings[terms[0]])
+	}
+	seed := idx.rarest(terms)
+	n := 0
+	for id := range idx.postings[seed] {
+		if idx.containsAll(id, terms) {
+			n++
+		}
+	}
+	return n
+}
+
+// rarest returns the term with the smallest postings list, the cheapest seed
+// for a conjunctive intersection.
+func (idx *Index) rarest(terms []string) string {
+	best := terms[0]
+	for _, t := range terms[1:] {
+		if len(idx.postings[t]) < len(idx.postings[best]) {
+			best = t
+		}
+	}
+	return best
+}
+
+// containsAll reports whether the tuple contains every term.
+func (idx *Index) containsAll(id relation.TupleID, terms []string) bool {
+	for _, t := range terms {
+		if idx.postings[t][id] == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // idf is the smoothed inverse document frequency of a term.
@@ -101,8 +175,10 @@ func (idx *Index) Match(keyword string) []Match {
 	if len(terms) == 0 {
 		return nil
 	}
-	// Candidate tuples must contain the first term; intersect with the rest.
-	candidates := idx.postings[terms[0]]
+	// Candidate tuples must contain every term; seeding the intersection
+	// from the rarest term keeps multi-term keywords from scanning the
+	// largest postings list.
+	candidates := idx.postings[idx.rarest(terms)]
 	if len(candidates) == 0 {
 		return nil
 	}

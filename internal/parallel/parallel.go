@@ -1,0 +1,139 @@
+// Package parallel provides the small concurrency toolkit shared by the
+// build and search layers: an errgroup-style Group with context
+// cancellation, and an order-preserving bounded worker pool. The module has
+// no third-party dependencies, so these helpers stand in for
+// golang.org/x/sync/errgroup.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a requested worker count: values below one fall back to
+// GOMAXPROCS, and the count is capped at n when n is positive (no point
+// spawning more workers than tasks).
+func Workers(requested, n int) int {
+	w := requested
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n > 0 && w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Group runs a set of goroutines and collects the first error; the derived
+// context is cancelled as soon as any task fails, so sibling tasks can abort
+// early. It mirrors the golang.org/x/sync/errgroup API.
+type Group struct {
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	once sync.Once
+	err  error
+}
+
+// WithContext returns a Group and a context derived from ctx that is
+// cancelled when any task returns a non-nil error or when Wait returns.
+func WithContext(ctx context.Context) (*Group, context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	return &Group{cancel: cancel}, ctx
+}
+
+// Go runs f in a new goroutine. The first non-nil error cancels the group
+// context and is returned by Wait.
+func (g *Group) Go(f func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := f(); err != nil {
+			g.once.Do(func() {
+				g.err = err
+				if g.cancel != nil {
+					g.cancel()
+				}
+			})
+		}
+	}()
+}
+
+// Wait blocks until every task launched with Go has returned, then returns
+// the first error (if any) and cancels the group context.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	if g.cancel != nil {
+		g.cancel()
+	}
+	return g.err
+}
+
+// ForEach runs fn(i) for every index in [0, n) across at most `workers`
+// goroutines (normalized by Workers) and returns the first error. Indices
+// are claimed atomically, so fn must be safe to run concurrently for
+// distinct indices; a failing task cancels the shared context passed to fn.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	g, gctx := WithContext(ctx)
+	next := make(chan int)
+	g.Go(func() error {
+		defer close(next)
+		for i := 0; i < n; i++ {
+			select {
+			case next <- i:
+			case <-gctx.Done():
+				return gctx.Err()
+			}
+		}
+		return nil
+	})
+	for k := 0; k < w; k++ {
+		g.Go(func() error {
+			for i := range next {
+				if err := fn(gctx, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	return g.Wait()
+}
+
+// Map applies fn to every index in [0, n) across at most `workers`
+// goroutines and returns the results in index order, so parallel execution
+// stays deterministic for the caller. The first error aborts the run.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

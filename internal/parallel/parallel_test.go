@@ -1,0 +1,103 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100, max},
+		{-3, 100, max},
+		{1, 100, 1},
+		{4, 2, 2},
+		{4, 0, 4},
+		{0, 0, max},
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+func TestGroupCollectsFirstError(t *testing.T) {
+	g, ctx := WithContext(context.Background())
+	boom := errors.New("boom")
+	g.Go(func() error { return boom })
+	g.Go(func() error {
+		<-ctx.Done() // the failing sibling must cancel the group context
+		return nil
+	})
+	if err := g.Wait(); err != boom {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 200
+		var counts [n]int32
+		err := ForEach(context.Background(), workers, n, func(_ context.Context, i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: ForEach: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesErrorAndStops(t *testing.T) {
+	var ran int32
+	err := ForEach(context.Background(), 4, 1000, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 3 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("ForEach returned nil, want error")
+	}
+	if n := atomic.LoadInt32(&ran); n == 1000 {
+		t.Error("every task ran despite the early failure")
+	}
+}
+
+func TestForEachHonoursCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEach(ctx, 4, 10, func(context.Context, int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEach = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got, err := Map(context.Background(), workers, 50, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: Map: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagraph"
 	"repro/internal/index"
+	"repro/internal/parallel"
 	"repro/internal/relation"
 )
 
@@ -25,6 +26,9 @@ type Options struct {
 	MaxDepth int
 	// MaxResults caps the number of answer trees (0 means 10).
 	MaxResults int
+	// Parallelism bounds the goroutines running the per-keyword expansions
+	// (0 or negative means GOMAXPROCS, 1 is fully sequential).
+	Parallelism int
 }
 
 // DefaultOptions returns the options used when none are supplied.
@@ -220,34 +224,62 @@ func (e *Engine) SearchContext(ctx context.Context, keywords []string, opts Opti
 		sort.Strings(kws)
 	}
 
-	expansions := make(map[string]expansion, len(keywords))
-	for kw, ids := range matches {
-		ex, err := e.expand(ctx, ids, opts.MaxDepth)
-		if err != nil {
-			return nil, err
+	// Each keyword's multi-source BFS only reads the graph and writes its
+	// own expansion, so they run in parallel across a bounded worker pool.
+	kwOrder := make([]string, 0, len(matches))
+	seenKW := make(map[string]bool, len(matches))
+	for _, kw := range keywords {
+		if !seenKW[kw] {
+			seenKW[kw] = true
+			kwOrder = append(kwOrder, kw)
 		}
-		expansions[kw] = ex
+	}
+	expanded, err := parallel.Map(ctx, opts.Parallelism, len(kwOrder), func(ctx context.Context, i int) (expansion, error) {
+		return e.expand(ctx, matches[kwOrder[i]], opts.MaxDepth)
+	})
+	if err != nil {
+		return nil, err
+	}
+	expansions := make(map[string]expansion, len(kwOrder))
+	for i, kw := range kwOrder {
+		expansions[kw] = expanded[i]
 	}
 
-	// Candidate roots: tuples reached by every keyword's expansion.
+	// Candidate roots: tuples reached by every keyword's expansion. Iterate
+	// the smallest expansion and intersect with the others — scanning every
+	// tuple of the database (graph.Nodes) rescans the whole graph per query.
+	smallest := kwOrder[0]
+	for _, kw := range kwOrder[1:] {
+		if len(expansions[kw].dist) < len(expansions[smallest].dist) {
+			smallest = kw
+		}
+	}
 	type scored struct {
-		root   relation.TupleID
-		weight int
+		root relation.TupleID
+		// weight is the distance sum, an upper bound on the tree weight;
+		// maxDist is the largest single distance, a lower bound on it.
+		weight, maxDist int
 	}
 	var roots []scored
-	for _, root := range e.graph.Nodes() {
-		total := 0
+	for root, d0 := range expansions[smallest].dist {
+		total, maxd := d0, d0
 		ok := true
-		for _, kw := range keywords {
+		for _, kw := range kwOrder {
+			if kw == smallest {
+				continue
+			}
 			d, reached := expansions[kw].dist[root]
 			if !reached {
 				ok = false
 				break
 			}
 			total += d
+			if d > maxd {
+				maxd = d
+			}
 		}
 		if ok {
-			roots = append(roots, scored{root: root, weight: total})
+			roots = append(roots, scored{root: root, weight: total, maxDist: maxd})
 		}
 	}
 	sort.Slice(roots, func(i, j int) bool {
@@ -259,12 +291,29 @@ func (e *Engine) SearchContext(ctx context.Context, keywords []string, opts Opti
 
 	// Build a tree per candidate root, deduplicate by content, and order by
 	// the actual tree weight (shared edges between keyword paths can make a
-	// tree lighter than its root's distance sum suggests).
+	// tree lighter than its root's distance sum suggests). Once MaxResults
+	// distinct trees exist, candidates that cannot beat the current cut are
+	// skipped: a tree holds a root-to-match path per keyword, so its weight
+	// is at least the candidate's largest distance and at most its distance
+	// sum. Both bounds are conservative — ties still build, so the truncated
+	// output is identical to the exhaustive loop's.
 	var out []Tree
+	var kept []int // weights of the distinct trees built so far, sorted
 	seen := make(map[string]bool)
 	for _, cand := range roots {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if len(kept) >= opts.MaxResults {
+			cut := kept[opts.MaxResults-1]
+			if cand.weight > cut*len(kwOrder) {
+				// Distance sums only grow from here, so every remaining
+				// candidate's lower bound (sum / #keywords) exceeds the cut.
+				break
+			}
+			if cand.maxDist > cut {
+				continue
+			}
 		}
 		tree := e.buildTree(cand.root, keywords, expansions, tupleKeywords)
 		if seen[tree.Signature()] {
@@ -272,6 +321,10 @@ func (e *Engine) SearchContext(ctx context.Context, keywords []string, opts Opti
 		}
 		seen[tree.Signature()] = true
 		out = append(out, tree)
+		at := sort.SearchInts(kept, tree.Weight)
+		kept = append(kept, 0)
+		copy(kept[at+1:], kept[at:])
+		kept[at] = tree.Weight
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Weight != out[j].Weight {

@@ -11,10 +11,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/datagraph"
 	"repro/internal/index"
+	"repro/internal/parallel"
 	"repro/internal/relation"
 )
 
@@ -34,6 +36,11 @@ type Options struct {
 	// InstanceCorroboration enables the instance-level corroboration
 	// analysis of every answer (slightly more expensive).
 	InstanceCorroboration bool
+	// Parallelism bounds the worker goroutines fanning out the per-source
+	// enumerations (0 or negative means GOMAXPROCS, 1 is fully sequential).
+	// Results are delivered in the same deterministic order regardless of
+	// the worker count.
+	Parallelism int
 }
 
 // DefaultOptions returns the options used when none are supplied.
@@ -214,9 +221,25 @@ func (e *Engine) Stream(ctx context.Context, keywords []string, opts Options, yi
 }
 
 // walkConnections drives the deduplicated enumeration of covering
-// connections, invoking emit for each one.
+// connections, invoking emit for each one. The per-source walks fan out
+// across a bounded worker pool (Options.Parallelism); deduplication,
+// coverage checks and emission happen on the consuming goroutine in the
+// sequential task order, so the emitted sequence is identical for any
+// worker count.
 func (e *Engine) walkConnections(ctx context.Context, keywords []string, keywordTuples map[string]map[relation.TupleID]bool, opts Options, emit func(core.Connection) error) error {
 	seen := make(map[string]bool)
+	// process applies the order-sensitive tail of the enumeration — global
+	// dedup, coverage, emission — and must only run on one goroutine.
+	process := func(c core.Connection) error {
+		if seen[c.Key()] {
+			return nil
+		}
+		seen[c.Key()] = true
+		if !e.covers(c, keywordTuples, keywords, opts) {
+			return nil
+		}
+		return emit(c)
+	}
 
 	if len(keywords) == 1 {
 		// Single-keyword queries: each matching tuple is an answer.
@@ -228,62 +251,149 @@ func (e *Engine) walkConnections(ctx context.Context, keywords []string, keyword
 			if err != nil {
 				continue
 			}
-			if err := emit(c); err != nil {
+			if err := process(c); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 
-	// Enumerate connections between tuples matching different keywords.
+	// Enumerate connections between tuples matching different keywords, one
+	// task per (from, to) source pair, in deterministic order. Pairs are
+	// generated lazily — the cross-product of large match sets would be an
+	// expensive slice to materialize — from per-keyword sorted ID lists.
+	type pair struct{ from, to relation.TupleID }
 	ordered := append([]string(nil), keywords...)
 	sort.Strings(ordered)
+	ids := make([][]relation.TupleID, len(ordered))
+	taskCount := 0
+	for i := range ordered {
+		ids[i] = sortedIDs(keywordTuples[ordered[i]])
+	}
 	for i := 0; i < len(ordered); i++ {
 		for j := i + 1; j < len(ordered); j++ {
-			froms := sortedIDs(keywordTuples[ordered[i]])
-			tos := sortedIDs(keywordTuples[ordered[j]])
-			for _, from := range froms {
-				for _, to := range tos {
-					if err := ctx.Err(); err != nil {
-						return err
-					}
-					if from == to {
-						// One tuple matching both keywords is itself an answer.
-						c, err := core.NewConnection(from, nil)
-						if err != nil || seen[c.Key()] {
-							continue
+			taskCount += len(ids[i]) * len(ids[j])
+		}
+	}
+	// forEachPair walks the pairs in the deterministic task order; a non-nil
+	// return from fn stops the iteration and is passed through.
+	forEachPair := func(fn func(pair) error) error {
+		for i := 0; i < len(ordered); i++ {
+			for j := i + 1; j < len(ordered); j++ {
+				for _, from := range ids[i] {
+					for _, to := range ids[j] {
+						if err := fn(pair{from: from, to: to}); err != nil {
+							return err
 						}
-						seen[c.Key()] = true
-						if e.covers(c, keywordTuples, keywords, opts) {
-							if err := emit(c); err != nil {
-								return err
-							}
-						}
-						continue
-					}
-					var emitErr error
-					walkErr := core.WalkConnections(ctx, e.graph, from, to, opts.MaxEdges, func(c core.Connection) bool {
-						if seen[c.Key()] {
-							return true
-						}
-						seen[c.Key()] = true
-						if !e.covers(c, keywordTuples, keywords, opts) {
-							return true
-						}
-						emitErr = emit(c)
-						return emitErr == nil
-					})
-					if emitErr != nil {
-						return emitErr
-					}
-					if walkErr != nil {
-						return walkErr
 					}
 				}
 			}
 		}
+		return nil
 	}
-	return nil
+
+	workers := parallel.Workers(opts.Parallelism, taskCount)
+	if workers == 1 {
+		return forEachPair(func(t pair) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			var procErr error
+			walkErr := e.walkPair(ctx, t.from, t.to, opts, func(c core.Connection) bool {
+				procErr = process(c)
+				return procErr == nil
+			})
+			if procErr != nil {
+				return procErr
+			}
+			return walkErr
+		})
+	}
+
+	// Parallel fan-out with ordered consumption: the producer starts one
+	// worker per task as pool slots free up — in task order, so the oldest
+	// unfinished task always owns a slot — and hands the consumer a stream
+	// per task in that same order. Workers block once their stream buffer
+	// fills, bounding memory; the consumer drains stream after stream,
+	// running process on each connection.
+	type stream struct {
+		ch  chan core.Connection
+		err error // valid once ch is closed
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+	sem := make(chan struct{}, workers)
+	streams := make(chan *stream, workers)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(streams)
+		_ = forEachPair(func(t pair) error {
+			select {
+			case sem <- struct{}{}:
+			case <-gctx.Done():
+				return gctx.Err()
+			}
+			st := &stream{ch: make(chan core.Connection, 64)}
+			select {
+			case streams <- st:
+			case <-gctx.Done():
+				<-sem
+				return gctx.Err()
+			}
+			wg.Add(1)
+			go func(t pair, st *stream) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				defer close(st.ch)
+				walkErr := e.walkPair(gctx, t.from, t.to, opts, func(c core.Connection) bool {
+					select {
+					case st.ch <- c:
+						return true
+					case <-gctx.Done():
+						return false
+					}
+				})
+				if walkErr == nil {
+					walkErr = gctx.Err()
+				}
+				st.err = walkErr
+			}(t, st)
+			return nil
+		})
+	}()
+	for st := range streams {
+		for c := range st.ch {
+			if err := process(c); err != nil {
+				return err
+			}
+		}
+		if st.err != nil {
+			return st.err
+		}
+	}
+	// A cancelled parent context can stop the producer before every task is
+	// queued while the in-flight walks still finish cleanly; report it.
+	return ctx.Err()
+}
+
+// walkPair enumerates the connections of one source pair: the degenerate
+// same-tuple pair yields the single-tuple connection (one tuple matching
+// both keywords is itself an answer); all others walk the graph.
+func (e *Engine) walkPair(ctx context.Context, from, to relation.TupleID, opts Options, yield func(core.Connection) bool) error {
+	if from == to {
+		c, err := core.NewConnection(from, nil)
+		if err != nil {
+			return nil
+		}
+		yield(c)
+		return nil
+	}
+	return core.WalkConnections(ctx, e.graph, from, to, opts.MaxEdges, yield)
 }
 
 // covers reports whether the connection satisfies the keyword-coverage

@@ -1,0 +1,165 @@
+package kws_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/kws"
+)
+
+func batchEngine(t *testing.T, opts ...kws.Option) *kws.Engine {
+	t.Helper()
+	e, err := kws.New(kws.PaperExample(), opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e
+}
+
+// TestSearchBatchMatchesSearch asserts that a batch returns, per slot,
+// exactly what an individual Search of that query returns — same results,
+// same order — for several parallelism settings.
+func TestSearchBatchMatchesSearch(t *testing.T) {
+	queries := []kws.Query{
+		{Keywords: []string{"Smith", "XML"}, MaxJoins: 3},
+		{Keywords: []string{"Smith", "XML"}, MaxJoins: 3, Engine: kws.EngineMTJNT},
+		{Keywords: []string{"Smith", "XML"}, MaxJoins: 3, Engine: kws.EngineBANKS},
+		{Keywords: []string{"Alice", "XML"}, MaxJoins: 3, Ranking: kws.RankERLength},
+		{Keywords: []string{"Smith"}, TopK: 2},
+	}
+	for _, parallelism := range []int{0, 1, 4} {
+		e := batchEngine(t, kws.WithParallelism(parallelism))
+		ctx := context.Background()
+		got := e.SearchBatch(ctx, queries)
+		if len(got) != len(queries) {
+			t.Fatalf("parallelism=%d: batch returned %d entries for %d queries", parallelism, len(got), len(queries))
+		}
+		for i, q := range queries {
+			want, err := e.Search(ctx, q)
+			if err != nil {
+				t.Fatalf("parallelism=%d: Search(%v): %v", parallelism, q.Keywords, err)
+			}
+			if got[i].Err != nil {
+				t.Fatalf("parallelism=%d: batch entry %d failed: %v", parallelism, i, got[i].Err)
+			}
+			if !reflect.DeepEqual(got[i].Results, want) {
+				t.Errorf("parallelism=%d: batch entry %d differs from individual Search", parallelism, i)
+			}
+		}
+	}
+}
+
+// TestSearchBatchReportsPerQueryErrors asserts that invalid queries fail
+// their own slot without poisoning the rest of the batch.
+func TestSearchBatchReportsPerQueryErrors(t *testing.T) {
+	e := batchEngine(t)
+	got := e.SearchBatch(context.Background(), []kws.Query{
+		{Keywords: []string{"Smith", "XML"}, MaxJoins: 3},
+		{}, // empty keyword list
+		{Keywords: []string{"Smith"}, Engine: "no-such-engine"},
+		{Keywords: []string{"Smith", "XML"}, MaxJoins: 3},
+	})
+	if got[0].Err != nil || got[3].Err != nil {
+		t.Fatalf("valid queries failed: %v, %v", got[0].Err, got[3].Err)
+	}
+	if got[1].Err == nil {
+		t.Error("empty query did not report an error")
+	}
+	if got[2].Err == nil {
+		t.Error("unknown engine did not report an error")
+	}
+	if !reflect.DeepEqual(got[0].Results, got[3].Results) {
+		t.Error("identical queries in one batch returned different results")
+	}
+	if len(got[0].Results) == 0 {
+		t.Error("valid query returned no results")
+	}
+}
+
+// TestSearchBatchConcurrent hammers one engine with concurrent batches (and
+// interleaved single searches); run under -race this is the batch-serving
+// race test.
+func TestSearchBatchConcurrent(t *testing.T) {
+	e := batchEngine(t, kws.WithParallelism(4))
+	queries := []kws.Query{
+		{Keywords: []string{"Smith", "XML"}, MaxJoins: 3},
+		{Keywords: []string{"Alice", "XML"}, MaxJoins: 3},
+		{Keywords: []string{"Smith", "XML"}, MaxJoins: 3, Engine: kws.EngineBANKS},
+		{Keywords: []string{"Smith", "XML"}, MaxJoins: 3, Engine: kws.EngineMTJNT},
+	}
+	ctx := context.Background()
+	want := e.SearchBatch(ctx, queries)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				if g%2 == 0 {
+					got := e.SearchBatch(ctx, queries)
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("goroutine %d: concurrent batch diverged", g)
+						return
+					}
+				} else {
+					if _, err := e.Search(ctx, queries[rep%len(queries)]); err != nil {
+						t.Errorf("goroutine %d: Search: %v", g, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSearchBatchCancellation asserts that a cancelled context marks every
+// unfinished slot with ctx.Err() instead of returning silent empties.
+func TestSearchBatchCancellation(t *testing.T) {
+	e := batchEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	queries := make([]kws.Query, 16)
+	for i := range queries {
+		queries[i] = kws.Query{Keywords: []string{"Smith", "XML"}, MaxJoins: 3}
+	}
+	got := e.SearchBatch(ctx, queries)
+	if len(got) != len(queries) {
+		t.Fatalf("batch returned %d entries for %d queries", len(got), len(queries))
+	}
+	for i, r := range got {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("entry %d: Err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+// TestParallelQueryMatchesSequential asserts that per-query parallelism is
+// invisible in the ranked output across all three engines.
+func TestParallelQueryMatchesSequential(t *testing.T) {
+	e := batchEngine(t)
+	ctx := context.Background()
+	for _, kind := range []kws.EngineKind{kws.EnginePaths, kws.EngineMTJNT, kws.EngineBANKS} {
+		base := kws.Query{Keywords: []string{"Smith", "XML"}, MaxJoins: 3, Engine: kind}
+		seqQ := base
+		seqQ.Parallelism = 1
+		seq, err := e.Search(ctx, seqQ)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", kind, err)
+		}
+		for _, workers := range []int{2, 8} {
+			parQ := base
+			parQ.Parallelism = workers
+			par, err := e.Search(ctx, parQ)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", kind, workers, err)
+			}
+			if !reflect.DeepEqual(par, seq) {
+				t.Errorf("%s workers=%d: results differ from sequential", kind, workers)
+			}
+		}
+	}
+}

@@ -29,6 +29,31 @@
 // engines and ranking strategies plug in through RegisterEngine and
 // RegisterRanker. The deprecated Open / LegacyEngine.Search shim keeps the
 // batch, frozen-configuration API of earlier releases compiling.
+//
+// # Concurrency and batching
+//
+// The whole stack is parallel by default and deterministic at every setting:
+// kws.New builds the tuple graph and the inverted index concurrently (each
+// fanning out per-table workers), BANKS runs its per-keyword expansions in
+// parallel goroutines, and the paths engine fans its per-source enumerations
+// across a bounded worker pool whose output order is identical to the
+// sequential walk. WithParallelism bounds all of it at the engine level and
+// Query.Parallelism per call; 1 forces the fully sequential paths, which
+// produce byte-identical results.
+//
+// Many queries are served in one call with Engine.SearchBatch, which runs up
+// to the configured parallelism of them at once over the shared substrates
+// and returns one BatchResult per query, in query order, with per-query
+// errors:
+//
+//	engine, _ := kws.New(db, kws.WithParallelism(8))
+//	for i, br := range engine.SearchBatch(ctx, queries) {
+//		if br.Err != nil {
+//			log.Printf("query %d: %v", i, br.Err)
+//			continue
+//		}
+//		consume(br.Results)
+//	}
 package kws
 
 import (

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagraph"
 	"repro/internal/index"
+	"repro/internal/parallel"
 	"repro/internal/ranking"
 )
 
@@ -33,6 +34,10 @@ type Config struct {
 	// Labeler renders tuple identifiers in results; it defaults to
 	// TupleID.String. Use PaperLabeler for the paper's running example.
 	Labeler Labeler
+	// Parallelism bounds the worker goroutines used per query by the search
+	// engines and per batch by SearchBatch (0 or negative means GOMAXPROCS,
+	// 1 is fully sequential). Results are deterministic for any value.
+	Parallelism int
 }
 
 // Result is one ranked answer.
@@ -112,6 +117,9 @@ func WithDefaults(cfg Config) Option {
 		if cfg.Labeler != nil {
 			c.Labeler = cfg.Labeler
 		}
+		if cfg.Parallelism > 0 {
+			c.Parallelism = cfg.Parallelism
+		}
 	}
 }
 
@@ -120,6 +128,15 @@ func WithDefaults(cfg Config) Option {
 // Query.Labeler.
 func WithLabeler(l Labeler) Option {
 	return func(c *Config) { c.Labeler = l }
+}
+
+// WithParallelism bounds the concurrency of the engine: the number of
+// queries SearchBatch runs at once and the default worker count of each
+// query's internal fan-out (keyword expansions, per-source enumerations).
+// Zero or negative means GOMAXPROCS; 1 makes every path fully sequential.
+// Individual queries can still override it through Query.Parallelism.
+func WithParallelism(n int) Option {
+	return func(c *Config) { c.Parallelism = n }
 }
 
 // New prepares an engine for the database: it validates the configured
@@ -163,13 +180,36 @@ func New(db *Database, opts ...Option) (*Engine, error) {
 	if labeler == nil {
 		labeler = func(id TupleID) string { return id.String() }
 	}
+	// The tuple graph and the inverted index are independent substrates;
+	// build them concurrently, each fanning out per-table workers.
+	// Parallelism 1 means fully sequential everywhere, including here.
+	var (
+		graph *datagraph.Graph
+		idx   *index.Index
+	)
+	if cfg.Parallelism == 1 {
+		graph = datagraph.BuildParallel(inner, 1)
+		idx = index.BuildParallel(inner, 1)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			graph = datagraph.BuildParallel(inner, cfg.Parallelism)
+		}()
+		go func() {
+			defer wg.Done()
+			idx = index.BuildParallel(inner, cfg.Parallelism)
+		}()
+		wg.Wait()
+	}
 	return &Engine{
 		defaults: cfg,
 		labeler:  labeler,
 		comp: Components{
 			DB:       inner,
-			Graph:    datagraph.Build(inner),
-			Index:    index.Build(inner),
+			Graph:    graph,
+			Index:    idx,
 			Analyzer: analyzer,
 		},
 		searchers: make(map[EngineKind]Searcher),
@@ -207,6 +247,9 @@ func (e *Engine) resolve(q Query) (Query, error) {
 	}
 	if q.Labeler == nil {
 		q.Labeler = e.labeler
+	}
+	if q.Parallelism <= 0 {
+		q.Parallelism = e.defaults.Parallelism
 	}
 	return q, nil
 }
@@ -292,6 +335,56 @@ func (e *Engine) Search(ctx context.Context, q Query) ([]Result, error) {
 		results = append(results, toResult(a, rk.Rank, rk.Score, rq.Labeler))
 	}
 	return results, nil
+}
+
+// BatchResult is the outcome of one query of a SearchBatch call: either its
+// ranked results or the error that failed it.
+type BatchResult struct {
+	// Results are the ranked results of the query, as Search would return
+	// them; nil when Err is set.
+	Results []Result
+	// Err is the query's failure, if any. A batch cancelled mid-flight
+	// reports ctx.Err() on the queries that did not complete.
+	Err error
+}
+
+// SearchBatch answers many queries over the engine's shared substrates,
+// running up to the configured parallelism of them at once (WithParallelism;
+// 0 means GOMAXPROCS). It returns one BatchResult per query, in query order:
+// failures are reported per query, never collapsed, so a batch mixing valid
+// and invalid queries still answers every valid one. When the context is
+// cancelled the in-flight queries abort and the unfinished entries carry
+// ctx.Err().
+//
+// Inside a batch the concurrency budget is spent across queries, not within
+// them: a query whose Parallelism is 0 runs its internal fan-out
+// sequentially (unlike a direct Search call, where 0 inherits the engine
+// default). Set Query.Parallelism explicitly to give individual queries
+// their own worker pools on top of the batch's.
+func (e *Engine) SearchBatch(ctx context.Context, queries []Query) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	// A query's own fan-out shares the batch budget poorly if both default
+	// to GOMAXPROCS; batched queries therefore run their internals
+	// sequentially unless the query overrides Parallelism itself.
+	_ = parallel.ForEach(ctx, e.defaults.Parallelism, len(queries), func(ctx context.Context, i int) error {
+		q := queries[i]
+		if q.Parallelism == 0 {
+			q.Parallelism = 1
+		}
+		results, err := e.Search(ctx, q)
+		out[i] = BatchResult{Results: results, Err: err}
+		return nil // per-query errors never abort the batch
+	})
+	// Queries never started before a cancellation keep their zero value;
+	// stamp them with the context error so callers can tell them apart.
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			if out[i].Results == nil && out[i].Err == nil {
+				out[i].Err = err
+			}
+		}
+	}
+	return out
 }
 
 // Stream answers the query incrementally: each result is handed to yield as

@@ -60,6 +60,7 @@ func (s pathsSearcher) Stream(ctx context.Context, q Query, yield func(Answer) b
 		MaxEdges:              q.MaxJoins,
 		RequireAllKeywords:    true,
 		InstanceCorroboration: q.InstanceChecks == ToggleOn,
+		Parallelism:           q.Parallelism,
 	}
 	return s.engine.Stream(ctx, q.Keywords, opts, yield)
 }
@@ -112,7 +113,7 @@ func newBANKSSearcher(c Components) (Searcher, error) {
 }
 
 func (s banksSearcher) Stream(ctx context.Context, q Query, yield func(Answer) bool) error {
-	opts := banks.Options{MaxDepth: q.MaxJoins, MaxResults: banksRawCap}
+	opts := banks.Options{MaxDepth: q.MaxJoins, MaxResults: banksRawCap, Parallelism: q.Parallelism}
 	var annErr error
 	err := s.engine.Stream(ctx, q.Keywords, opts, func(t banks.Tree) bool {
 		conn, ok := t.AsConnection()
