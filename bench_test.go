@@ -500,6 +500,47 @@ func BenchmarkPathsParallelEnumeration(b *testing.B) {
 	}
 }
 
+// BenchmarkAnnotationPipeline measures the ordered annotation pipeline of
+// the paths engine — dedup on one goroutine, buildAnswer (association
+// analysis, instance-level corroboration, content scoring) fanned across a
+// bounded pool, order-preserving emission — against the fully sequential
+// consumer. Corroboration is on, so the per-answer work dominates; the
+// determinism tests guarantee both settings produce identical answers.
+func BenchmarkAnnotationPipeline(b *testing.B) {
+	// Scale 4 with a 4-join budget makes the corroboration walks the
+	// dominant cost (roughly half to two thirds of each query), which is
+	// the regime the pipeline exists for.
+	db := workload.MustGenerate(workload.ScaledConfig(4, 42))
+	analyzer, err := core.Derive(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := paths.NewWithComponents(db, datagraph.Build(db), index.Build(db), analyzer, paths.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	queries := benchSearchableQueries(b, func(kws []string) error {
+		_, err := engine.SearchContext(ctx, kws, paths.Options{
+			MaxEdges: 4, RequireAllKeywords: true, InstanceCorroboration: true, Parallelism: 1,
+		})
+		return err
+	})
+	for _, workers := range []int{1, 0} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := engine.SearchContext(ctx, q.Keywords, paths.Options{
+						MaxEdges: 4, RequireAllKeywords: true, InstanceCorroboration: true, Parallelism: workers,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // benchSearchableQueries filters the generated workload queries down to the
 // ones the engine under test can answer, so the timed loops never measure
 // the immediate-error path; it fails the benchmark when nothing is left.

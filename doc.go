@@ -15,9 +15,14 @@
 // Concurrency and batching: substrate construction (kws.New, the tuple graph
 // and the inverted index), the BANKS keyword expansions and the paths
 // per-source enumerations all fan out across bounded worker pools with
-// deterministic merges, so results are identical at any parallelism;
-// kws.WithParallelism bounds the engine-wide concurrency (including how many
-// batched queries run at once) and Query.Parallelism overrides it per call.
+// deterministic merges, so results are identical at any parallelism. In the
+// paths engine, answer annotation — association analysis, instance-level
+// corroboration, content scoring — additionally runs as an ordered pipeline
+// behind the dedup stage: a bounded pool annotates many answers at once
+// while an order-preserving emitter yields them in exactly the sequential
+// order. kws.WithParallelism bounds the engine-wide concurrency (including
+// how many batched queries run at once) and Query.Parallelism overrides it
+// per call.
 //
 // The paper's contribution (conceptual connection lengths and close/loose
 // association analysis) is implemented in internal/core on top of an

@@ -129,6 +129,12 @@ func joinComma(ss []string) string {
 
 // Analyzer lifts connections to the ER level using the conceptual schema
 // derived from (or supplied for) the database.
+//
+// An Analyzer is immutable after construction and only reads the database,
+// schema and mapping, so all of its methods — including Analyze,
+// AnalyzeWithInstanceContext and AnalyzeAllContext — are safe for concurrent
+// use from any number of goroutines; the paths annotation pipeline relies on
+// this to analyse many answers at once.
 type Analyzer struct {
 	db      *relation.Database
 	schema  *er.Schema
@@ -137,6 +143,9 @@ type Analyzer struct {
 	// instance-level corroboration, in joins. Zero means "the analysed
 	// connection's own RDB length".
 	corroborationBudget int
+	// countObserver, when non-nil, observes every relatedCount call; tests
+	// use it to pin the number of instance-count computations per hub.
+	countObserver func(hub relation.TupleID, relationship string)
 }
 
 // Option configures an Analyzer.
@@ -147,6 +156,13 @@ type Option func(*Analyzer)
 // the analysed connection's own length.
 func WithCorroborationBudget(joins int) Option {
 	return func(a *Analyzer) { a.corroborationBudget = joins }
+}
+
+// withCountObserver installs a hook observing every relatedCount call. It is
+// construction-time test instrumentation, so the analyzer stays immutable —
+// and therefore concurrency-safe — once built.
+func withCountObserver(fn func(hub relation.TupleID, relationship string)) Option {
+	return func(a *Analyzer) { a.countObserver = fn }
 }
 
 // NewAnalyzer creates an analyzer for the database using the given
@@ -317,13 +333,18 @@ func (a *Analyzer) hubStats(steps []Step) []HubStat {
 			continue
 		}
 		hub := left.To
+		// Each instance-level count is computed once and reused for the
+		// pair product: relatedCount walks referencing tuples and sits on
+		// the annotation hot path.
+		leftCount := a.relatedCount(hub, left.Relationship)
+		rightCount := a.relatedCount(hub, right.Relationship)
 		out = append(out, HubStat{
 			Hub:               hub,
 			LeftRelationship:  left.Relationship,
 			RightRelationship: right.Relationship,
-			LeftCount:         a.relatedCount(hub, left.Relationship),
-			RightCount:        a.relatedCount(hub, right.Relationship),
-			AssociatedPairs:   a.relatedCount(hub, left.Relationship) * a.relatedCount(hub, right.Relationship),
+			LeftCount:         leftCount,
+			RightCount:        rightCount,
+			AssociatedPairs:   leftCount * rightCount,
 		})
 	}
 	return out
@@ -332,6 +353,9 @@ func (a *Analyzer) hubStats(steps []Step) []HubStat {
 // relatedCount counts the tuples related to the hub tuple through the named
 // relationship at the instance level.
 func (a *Analyzer) relatedCount(hub relation.TupleID, relationship string) int {
+	if a.countObserver != nil {
+		a.countObserver(hub, relationship)
+	}
 	hubTuple, ok := a.db.Tuple(hub)
 	if !ok {
 		return 0

@@ -135,11 +135,19 @@ func (a *Analyzer) AnalyzeWithInstanceContext(ctx context.Context, c Connection,
 }
 
 // AnalyzeAll analyses a batch of connections with instance-level
-// corroboration, preserving order.
+// corroboration, preserving order, under a background context; use
+// AnalyzeAllContext when the batch must be cancellable.
 func (a *Analyzer) AnalyzeAll(cs []Connection, g *datagraph.Graph) ([]Analysis, error) {
+	return a.AnalyzeAllContext(context.Background(), cs, g)
+}
+
+// AnalyzeAllContext is AnalyzeAll with cancellation: the batch aborts with
+// ctx.Err() as soon as the context is cancelled, instead of silently running
+// every remaining corroboration walk to completion.
+func (a *Analyzer) AnalyzeAllContext(ctx context.Context, cs []Connection, g *datagraph.Graph) ([]Analysis, error) {
 	out := make([]Analysis, 0, len(cs))
 	for _, c := range cs {
-		an, err := a.AnalyzeWithInstance(c, g)
+		an, err := a.AnalyzeWithInstanceContext(ctx, c, g)
 		if err != nil {
 			return nil, err
 		}

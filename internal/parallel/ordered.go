@@ -1,0 +1,171 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+)
+
+// orderedResult carries one task's outcome to the consumer.
+type orderedResult[Out any] struct {
+	out Out
+	err error
+}
+
+// orderedTask pairs an input with the slot its result must fill.
+type orderedTask[In, Out any] struct {
+	in   In
+	slot chan orderedResult[Out]
+}
+
+// Ordered is an order-preserving parallel pipeline stage: tasks submitted by
+// one producer goroutine run on a bounded worker pool and may complete out of
+// order, while Drain hands the results to one consumer goroutine in exact
+// submission order. Buffering is bounded — at most `buffer` results are
+// outstanding, so a slow consumer backpressures the producer — and the whole
+// stage tears down when the supplied context is cancelled, when a task or the
+// consumer fails, or when Stop is called.
+//
+// The expected shape is one producer goroutine calling Submit then
+// CloseSubmit, one consumer goroutine calling Drain, and a deferred Stop:
+//
+//	stage := parallel.NewOrdered(ctx, workers, 2*workers, fn)
+//	defer stage.Stop()
+//	go func() { feed(stage.Submit); stage.CloseSubmit() }()
+//	err := stage.Drain(consume)
+type Ordered[In, Out any] struct {
+	ctx     context.Context
+	cancel  context.CancelFunc
+	fn      func(context.Context, In) (Out, error)
+	tasks   chan orderedTask[In, Out]
+	pending chan chan orderedResult[Out]
+	wg      sync.WaitGroup
+}
+
+// NewOrdered starts an ordered stage running fn on `workers` goroutines
+// (normalized by Workers, so 0 means GOMAXPROCS) with at most `buffer`
+// results outstanding; buffers smaller than the worker count are raised to
+// it, so the pool can always run at full width.
+func NewOrdered[In, Out any](ctx context.Context, workers, buffer int, fn func(context.Context, In) (Out, error)) *Ordered[In, Out] {
+	workers = Workers(workers, 0)
+	if buffer < workers {
+		buffer = workers
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	o := &Ordered[In, Out]{
+		ctx:     ctx,
+		cancel:  cancel,
+		fn:      fn,
+		tasks:   make(chan orderedTask[In, Out], buffer),
+		pending: make(chan chan orderedResult[Out], buffer),
+	}
+	for i := 0; i < workers; i++ {
+		o.wg.Add(1)
+		go o.worker()
+	}
+	return o
+}
+
+func (o *Ordered[In, Out]) worker() {
+	defer o.wg.Done()
+	for {
+		select {
+		case t, ok := <-o.tasks:
+			if !ok {
+				return
+			}
+			out, err := o.fn(o.ctx, t.in)
+			// The slot has capacity 1 and exactly one writer, so this never
+			// blocks even when the consumer is gone.
+			t.slot <- orderedResult[Out]{out: out, err: err}
+		case <-o.ctx.Done():
+			return
+		}
+	}
+}
+
+// Submit queues one task. It blocks while `buffer` results are outstanding
+// and returns the context error once the stage is cancelled; a non-nil
+// return means the task was not accepted. Submit must only be called from
+// one goroutine, before CloseSubmit.
+func (o *Ordered[In, Out]) Submit(in In) error {
+	slot := make(chan orderedResult[Out], 1)
+	select {
+	case o.pending <- slot:
+	case <-o.ctx.Done():
+		return o.ctx.Err()
+	}
+	select {
+	case o.tasks <- orderedTask[In, Out]{in: in, slot: slot}:
+		return nil
+	case <-o.ctx.Done():
+		// The slot is already queued for the consumer; fail it so Drain
+		// never waits on a task no worker will run.
+		slot <- orderedResult[Out]{err: o.ctx.Err()}
+		return o.ctx.Err()
+	}
+}
+
+// CloseSubmit marks the submission side done: Drain returns nil once every
+// accepted task has been consumed. It must be called exactly once, by the
+// submitting goroutine.
+func (o *Ordered[In, Out]) CloseSubmit() {
+	close(o.tasks)
+	close(o.pending)
+}
+
+// Drain delivers results to consume in submission order until the stage is
+// closed and drained (returning nil), a task fails (returning its error), the
+// consumer fails (returning the consumer's error), or the stage's context is
+// cancelled with work still outstanding (returning the context error). A
+// task or consumer failure cancels the stage, unblocking the producer.
+// Completed results are always preferred over a concurrent cancellation, so
+// a stage whose work already finished drains deterministically.
+func (o *Ordered[In, Out]) Drain(consume func(Out) error) error {
+	for {
+		var (
+			slot chan orderedResult[Out]
+			ok   bool
+		)
+		// Prefer the pending queue over cancellation: if the stage was
+		// closed (or a result is ready) the consumer should see it even
+		// when the context is already done.
+		select {
+		case slot, ok = <-o.pending:
+		default:
+			select {
+			case slot, ok = <-o.pending:
+			case <-o.ctx.Done():
+				return o.ctx.Err()
+			}
+		}
+		if !ok {
+			return nil
+		}
+		var r orderedResult[Out]
+		select {
+		case r = <-slot:
+		default:
+			select {
+			case r = <-slot:
+			case <-o.ctx.Done():
+				return o.ctx.Err()
+			}
+		}
+		if r.err != nil {
+			o.cancel()
+			return r.err
+		}
+		if err := consume(r.out); err != nil {
+			o.cancel()
+			return err
+		}
+	}
+}
+
+// Stop cancels the stage and waits for its workers to exit. It is safe to
+// call at any point and more than once; a deferred Stop is the standard
+// cleanup.
+func (o *Ordered[In, Out]) Stop() {
+	o.cancel()
+	o.wg.Wait()
+}

@@ -1,0 +1,186 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOrderedPreservesSubmissionOrder checks that results drain in exact
+// submission order even when tasks complete wildly out of order.
+func TestOrderedPreservesSubmissionOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			stage := NewOrdered(context.Background(), workers, 4, func(_ context.Context, i int) (int, error) {
+				// Earlier tasks sleep longer, so completion order inverts
+				// submission order whenever more than one worker runs.
+				time.Sleep(time.Duration((50-i)%7) * time.Millisecond)
+				return i * 2, nil
+			})
+			defer stage.Stop()
+			const n = 50
+			go func() {
+				for i := 0; i < n; i++ {
+					if err := stage.Submit(i); err != nil {
+						t.Errorf("Submit(%d): %v", i, err)
+						break
+					}
+				}
+				stage.CloseSubmit()
+			}()
+			var got []int
+			if err := stage.Drain(func(v int) error {
+				got = append(got, v)
+				return nil
+			}); err != nil {
+				t.Fatalf("Drain: %v", err)
+			}
+			if len(got) != n {
+				t.Fatalf("drained %d results, want %d", len(got), n)
+			}
+			for i, v := range got {
+				if v != i*2 {
+					t.Fatalf("result %d = %d, want %d (order not preserved)", i, v, i*2)
+				}
+			}
+		})
+	}
+}
+
+// TestOrderedPropagatesTaskError checks that a failing task aborts the drain
+// with its error and unblocks the producer.
+func TestOrderedPropagatesTaskError(t *testing.T) {
+	boom := errors.New("boom")
+	stage := NewOrdered(context.Background(), 2, 2, func(_ context.Context, i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	defer stage.Stop()
+	submitErr := make(chan error, 1)
+	go func() {
+		var err error
+		for i := 0; i < 100; i++ {
+			if err = stage.Submit(i); err != nil {
+				break
+			}
+		}
+		stage.CloseSubmit()
+		submitErr <- err
+	}()
+	err := stage.Drain(func(int) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("Drain = %v, want %v", err, boom)
+	}
+	if err := <-submitErr; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit unblocked with %v, want nil or context.Canceled", err)
+	}
+}
+
+// TestOrderedConsumerStopCancelsProducer checks that a consumer error tears
+// the stage down: Drain returns the error and a blocked Submit unblocks.
+func TestOrderedConsumerStopCancelsProducer(t *testing.T) {
+	stop := errors.New("stop")
+	stage := NewOrdered(context.Background(), 2, 2, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	})
+	defer stage.Stop()
+	unblocked := make(chan struct{})
+	go func() {
+		defer close(unblocked)
+		for i := 0; i < 1000; i++ {
+			if stage.Submit(i) != nil {
+				return
+			}
+		}
+		t.Error("Submit never unblocked with an error")
+	}()
+	err := stage.Drain(func(int) error { return stop })
+	if !errors.Is(err, stop) {
+		t.Fatalf("Drain = %v, want %v", err, stop)
+	}
+	select {
+	case <-unblocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer still blocked after consumer stop")
+	}
+}
+
+// TestOrderedCancellation checks that cancelling the parent context aborts
+// both sides with the context error and that Stop reaps every worker.
+func TestOrderedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	stage := NewOrdered(ctx, 2, 2, func(ctx context.Context, i int) (int, error) {
+		once.Do(func() { close(started) })
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	go func() {
+		for i := 0; ; i++ {
+			if stage.Submit(i) != nil {
+				return
+			}
+		}
+	}()
+	<-started
+	cancel()
+	err := stage.Drain(func(int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Drain = %v, want context.Canceled", err)
+	}
+	stage.Stop() // must return; the race detector flags leaked workers
+}
+
+// TestOrderedBoundedBuffering checks the backpressure contract: while the
+// consumer has not started draining, the producer blocks once the buffer is
+// full, rather than letting submissions run ahead unboundedly.
+func TestOrderedBoundedBuffering(t *testing.T) {
+	const workers, buffer = 2, 2
+	stage := NewOrdered(context.Background(), workers, buffer, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	})
+	defer stage.Stop()
+	var submitted atomic.Int64
+	go func() {
+		for i := 0; i < 100; i++ {
+			if stage.Submit(i) != nil {
+				return
+			}
+			submitted.Add(1)
+		}
+		stage.CloseSubmit()
+	}()
+	// Wait until the producer stalls: the count must stop growing well short
+	// of 100 while the consumer is gated.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		before := submitted.Load()
+		time.Sleep(20 * time.Millisecond)
+		if submitted.Load() == before && before > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("producer never stalled")
+		}
+	}
+	if n := submitted.Load(); n > workers+buffer+2 {
+		t.Fatalf("submitted %d tasks against an idle consumer, want at most %d", n, workers+buffer+2)
+	}
+	var got int
+	if err := stage.Drain(func(int) error {
+		got++
+		return nil
+	}); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got != 100 {
+		t.Fatalf("drained %d results, want 100", got)
+	}
+}

@@ -36,10 +36,12 @@ type Options struct {
 	// InstanceCorroboration enables the instance-level corroboration
 	// analysis of every answer (slightly more expensive).
 	InstanceCorroboration bool
-	// Parallelism bounds the worker goroutines fanning out the per-source
-	// enumerations (0 or negative means GOMAXPROCS, 1 is fully sequential).
-	// Results are delivered in the same deterministic order regardless of
-	// the worker count.
+	// Parallelism bounds the worker goroutines of the query's two pools:
+	// the per-source enumeration fan-out and the annotation pipeline that
+	// runs analysis, instance corroboration and content scoring behind the
+	// ordered dedup stage (0 or negative means GOMAXPROCS, 1 is fully
+	// sequential). Results are delivered in the same deterministic order
+	// regardless of the worker count.
 	Parallelism int
 }
 
@@ -166,6 +168,12 @@ var errStopStream = errors.New("paths: stream stopped")
 // stops when yield returns false, when MaxResults answers have been
 // delivered, or when the context is cancelled — in which case ctx.Err() is
 // returned. Answers are deduplicated exactly as in Search.
+//
+// With Parallelism other than 1, answer annotation — the association
+// analysis, the instance-level corroboration and the content score — runs on
+// a bounded worker pool behind the ordered dedup stage, so the expensive
+// per-answer work of different answers overlaps while yield still observes
+// exactly the sequential emission order.
 func (e *Engine) Stream(ctx context.Context, keywords []string, opts Options, yield func(Answer) bool) error {
 	if len(keywords) == 0 {
 		return fmt.Errorf("paths: empty keyword query")
@@ -195,6 +203,10 @@ func (e *Engine) Stream(ctx context.Context, keywords []string, opts Options, yi
 		}
 	}
 
+	if workers := parallel.Workers(opts.Parallelism, 0); workers > 1 {
+		return e.streamPipelined(ctx, keywords, keywordTuples, tupleKeywords, opts, workers, yield)
+	}
+
 	emitted := 0
 	// emit builds the answer for a deduplicated, covering connection and
 	// yields it; a non-nil return aborts the whole enumeration.
@@ -220,12 +232,87 @@ func (e *Engine) Stream(ctx context.Context, keywords []string, opts Options, yi
 	return err
 }
 
+// streamPipelined is the parallel tail of Stream: a three-stage ordered
+// pipeline. Stage one is walkConnections's single-goroutine dedup + coverage
+// consumer, which submits each surviving connection to stage two, a bounded
+// parallel.Ordered pool running buildAnswer concurrently; stage three — this
+// goroutine — drains the answers in exact submission order and yields them,
+// so the emitted sequence is byte-identical to the sequential walk at any
+// worker count.
+func (e *Engine) streamPipelined(ctx context.Context, keywords []string, keywordTuples map[string]map[relation.TupleID]bool, tupleKeywords map[relation.TupleID][]string, opts Options, workers int, yield func(Answer) bool) error {
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stage := parallel.NewOrdered(pctx, workers, 2*workers, func(ctx context.Context, c core.Connection) (Answer, error) {
+		return e.buildAnswer(ctx, c, tupleKeywords, keywords, opts)
+	})
+	defer stage.Stop()
+
+	var submitted int // owned by the walk goroutine until walkDone delivers
+	walkDone := make(chan error, 1)
+	go func() {
+		err := e.walkConnections(pctx, keywords, keywordTuples, opts, func(c core.Connection) error {
+			if err := stage.Submit(c); err != nil {
+				return err
+			}
+			submitted++
+			return nil
+		})
+		stage.CloseSubmit()
+		walkDone <- err
+	}()
+
+	emitted := 0
+	stopped := false
+	drainErr := stage.Drain(func(a Answer) error {
+		// Stop yielding as soon as the caller's context is cancelled, even
+		// when later answers already finished annotating: the sequential
+		// walk stops at its next check, and the two paths must agree.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !yield(a) {
+			stopped = true
+			return errStopStream
+		}
+		emitted++
+		if opts.MaxResults > 0 && emitted >= opts.MaxResults {
+			stopped = true
+			return errStopStream
+		}
+		return nil
+	})
+	cancel() // unblocks a still-running walk; idempotent otherwise
+	walkErr := <-walkDone
+	switch {
+	case stopped:
+		return nil
+	case drainErr == nil:
+		// Every submitted answer was delivered; the walk's own verdict
+		// decides (nil for a complete enumeration, the context error when
+		// the producer was truncated).
+		return walkErr
+	case isContextError(drainErr) && walkErr == nil && emitted == submitted:
+		// The cancellation raced the teardown after the complete answer
+		// set was already delivered; align with the sequential walk, which
+		// returns nil for a context cancelled after the last task.
+		return nil
+	default:
+		return drainErr
+	}
+}
+
+// isContextError reports whether err is a context cancellation or deadline.
+func isContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // walkConnections drives the deduplicated enumeration of covering
 // connections, invoking emit for each one. The per-source walks fan out
 // across a bounded worker pool (Options.Parallelism); deduplication,
 // coverage checks and emission happen on the consuming goroutine in the
 // sequential task order, so the emitted sequence is identical for any
-// worker count.
+// worker count. Under streamPipelined this consumer is stage one of the
+// annotation pipeline and emit hands connections to the ordered pool.
 func (e *Engine) walkConnections(ctx context.Context, keywords []string, keywordTuples map[string]map[relation.TupleID]bool, opts Options, emit func(core.Connection) error) error {
 	seen := make(map[string]bool)
 	// process applies the order-sensitive tail of the enumeration — global
@@ -328,11 +415,15 @@ func (e *Engine) walkConnections(ctx context.Context, keywords []string, keyword
 	}()
 	sem := make(chan struct{}, workers)
 	streams := make(chan *stream, workers)
+	// producerErr records a producer cut off before queueing every task; it
+	// is written before close(streams) and read only after the drain, so the
+	// channel close orders the accesses.
+	var producerErr error
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer close(streams)
-		_ = forEachPair(func(t pair) error {
+		producerErr = forEachPair(func(t pair) error {
 			select {
 			case sem <- struct{}{}:
 			case <-gctx.Done():
@@ -350,15 +441,19 @@ func (e *Engine) walkConnections(ctx context.Context, keywords []string, keyword
 				defer wg.Done()
 				defer func() { <-sem }()
 				defer close(st.ch)
+				truncated := false
 				walkErr := e.walkPair(gctx, t.from, t.to, opts, func(c core.Connection) bool {
 					select {
 					case st.ch <- c:
 						return true
 					case <-gctx.Done():
+						truncated = true
 						return false
 					}
 				})
-				if walkErr == nil {
+				if walkErr == nil && truncated {
+					// The walk stopped because its yield observed the
+					// cancellation, not because it ran out of connections.
 					walkErr = gctx.Err()
 				}
 				st.err = walkErr
@@ -376,21 +471,23 @@ func (e *Engine) walkConnections(ctx context.Context, keywords []string, keyword
 			return st.err
 		}
 	}
-	// A cancelled parent context can stop the producer before every task is
-	// queued while the in-flight walks still finish cleanly; report it.
-	return ctx.Err()
+	// Every stream closed cleanly, so the enumeration is complete unless the
+	// producer itself was cut off before queueing every task; a context
+	// cancelled after the last task is not reported, matching the sequential
+	// path above.
+	return producerErr
 }
 
 // walkPair enumerates the connections of one source pair: the degenerate
 // same-tuple pair yields the single-tuple connection (one tuple matching
-// both keywords is itself an answer); all others walk the graph.
+// both keywords is itself an answer); all others walk the graph. Like every
+// other walk, a yield returning false stops the enumeration.
 func (e *Engine) walkPair(ctx context.Context, from, to relation.TupleID, opts Options, yield func(core.Connection) bool) error {
 	if from == to {
 		c, err := core.NewConnection(from, nil)
-		if err != nil {
+		if err != nil || !yield(c) {
 			return nil
 		}
-		yield(c)
 		return nil
 	}
 	return core.WalkConnections(ctx, e.graph, from, to, opts.MaxEdges, yield)

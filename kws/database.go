@@ -37,7 +37,13 @@
 // fanning out per-table workers), BANKS runs its per-keyword expansions in
 // parallel goroutines, and the paths engine fans its per-source enumerations
 // across a bounded worker pool whose output order is identical to the
-// sequential walk. WithParallelism bounds all of it at the engine level and
+// sequential walk. Behind that enumeration the paths engine also pipelines
+// answer annotation: the single-goroutine dedup stage feeds a bounded pool
+// that runs the association analysis, the instance-level corroboration and
+// the content scoring of many answers concurrently, and an order-preserving
+// emitter delivers them in exactly the sequential order — so Search, Stream
+// and SearchBatch all overlap the dominant per-answer cost without changing
+// a byte of output. WithParallelism bounds all of it at the engine level and
 // Query.Parallelism per call; 1 forces the fully sequential paths, which
 // produce byte-identical results.
 //

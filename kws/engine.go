@@ -132,9 +132,10 @@ func WithLabeler(l Labeler) Option {
 
 // WithParallelism bounds the concurrency of the engine: the number of
 // queries SearchBatch runs at once and the default worker count of each
-// query's internal fan-out (keyword expansions, per-source enumerations).
-// Zero or negative means GOMAXPROCS; 1 makes every path fully sequential.
-// Individual queries can still override it through Query.Parallelism.
+// query's internal fan-out (keyword expansions, per-source enumerations,
+// the paths annotation pipeline). Zero or negative means GOMAXPROCS; 1
+// makes every path fully sequential. Individual queries can still override
+// it through Query.Parallelism.
 func WithParallelism(n int) Option {
 	return func(c *Config) { c.Parallelism = n }
 }
