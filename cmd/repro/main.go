@@ -6,6 +6,7 @@
 //	repro                      # all paper artifacts (Figures 1-2, Tables 1-3, MTJNT loss, ranking, ablation)
 //	repro -artifact table2     # one artifact: figure1, figure2, table1, table2, table3, mtjnt, ranking, ablation
 //	repro -artifact search     # the running example through the public kws API
+//	repro -artifact mutate     # the live engine: Apply mutations, search across generations
 //	repro -artifact scale -scales 1,2,4,8 -queries 20
 //	repro -artifact engines -scale 4 -queries 20
 package main
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		artifact = flag.String("artifact", "all", "artifact to regenerate: all, figure1, figure2, table1, table2, table3, mtjnt, ranking, ablation, search, scale, engines")
+		artifact = flag.String("artifact", "all", "artifact to regenerate: all, figure1, figure2, table1, table2, table3, mtjnt, ranking, ablation, search, mutate, scale, engines")
 		scales   = flag.String("scales", "1,2,4", "comma-separated workload scales for -artifact scale")
 		scale    = flag.Int("scale", 2, "workload scale for -artifact engines")
 		queries  = flag.Int("queries", 10, "number of generated queries for scaled experiments")
@@ -89,6 +90,8 @@ func run(artifact, scales string, scale, queries, maxJoins int, seed int64) erro
 		return nil
 	case "search":
 		return searchArtifact(maxJoins)
+	case "mutate":
+		return mutateArtifact(maxJoins)
 	default:
 		f, ok := single[artifact]
 		if !ok {
@@ -129,6 +132,71 @@ func searchArtifact(maxJoins int) error {
 			fmt.Printf("%2d. %-50s len(RDB)=%d len(ER)=%d close=%v\n",
 				r.Rank, r.ConnectionWithCardinalities, r.RDBLength, r.ERLength, r.Close)
 		}
+	}
+	return nil
+}
+
+// mutateArtifact demonstrates the live engine on the paper's running
+// example: it applies mutation batches with Engine.Apply — hiring an
+// employee, moving her between departments, firing her — and reruns the
+// "Smith XML" query on every published generation, printing how the answer
+// set evolves while the graph and index are maintained incrementally.
+func mutateArtifact(maxJoins int) error {
+	engine, err := kws.New(kws.PaperExample(), kws.WithLabeler(paperdb.DisplayLabel))
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	show := func(header string, keywords ...string) error {
+		results, err := engine.Search(ctx, kws.Query{Keywords: keywords, MaxJoins: maxJoins})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n[generation %d] %s — query %v (%d answers):\n",
+			engine.Generation(), header, keywords, len(results))
+		for _, r := range results {
+			fmt.Printf("%2d. %-50s close=%v\n", r.Rank, r.ConnectionWithCardinalities, r.Close)
+		}
+		return nil
+	}
+	apply := func(label string, ops ...kws.Op) error {
+		gen, err := engine.Apply(ctx, kws.Mutation{Ops: ops})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n== Apply: %s -> generation %d ==\n", label, gen)
+		return nil
+	}
+
+	fmt.Println("== Live engine on the running example: incremental Apply, snapshot generations ==")
+	if err := show("initial database", "Smith", "XML"); err != nil {
+		return err
+	}
+	if err := apply("hire Zoe Smith into d3 (the history department) and assign her to p1",
+		kws.Insert("EMPLOYEE", map[string]any{"SSN": "e5", "L_NAME": "Smith", "S_NAME": "Zoe", "D_ID": "d3"}),
+		kws.Insert("WORKS_ON", map[string]any{"ESSN": "e5", "P_ID": "p1", "HOURS": 20}),
+	); err != nil {
+		return err
+	}
+	if err := show("Zoe reaches XML only through her p1 assignment", "Smith", "XML"); err != nil {
+		return err
+	}
+	if err := apply("move Zoe to d1, whose description matches XML directly",
+		kws.Update("EMPLOYEE", map[string]any{"SSN": "e5"}, map[string]any{"D_ID": "d1"}),
+	); err != nil {
+		return err
+	}
+	if err := show("a close d1-Zoe association appears", "Smith", "XML"); err != nil {
+		return err
+	}
+	if err := apply("fire Zoe again (assignment first, then the employee)",
+		kws.Delete("WORKS_ON", map[string]any{"ESSN": "e5", "P_ID": "p1"}),
+		kws.Delete("EMPLOYEE", map[string]any{"SSN": "e5"}),
+	); err != nil {
+		return err
+	}
+	if err := show("back to the paper's Table 2 answers", "Smith", "XML"); err != nil {
+		return err
 	}
 	return nil
 }

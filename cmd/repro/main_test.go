@@ -3,7 +3,7 @@ package main
 import "testing"
 
 func TestRunSingleArtifacts(t *testing.T) {
-	for _, artifact := range []string{"figure1", "figure2", "table1", "table2", "table3", "mtjnt", "ranking", "ablation", "search"} {
+	for _, artifact := range []string{"figure1", "figure2", "table1", "table2", "table3", "mtjnt", "ranking", "ablation", "search", "mutate"} {
 		if err := run(artifact, "1", 1, 2, 3, 42); err != nil {
 			t.Errorf("run(%s): %v", artifact, err)
 		}

@@ -24,6 +24,20 @@
 // how many batched queries run at once) and Query.Parallelism overrides it
 // per call.
 //
+// Live updates and snapshots: the engine serves a sequence of immutable
+// generations. Engine.Apply takes a batched Mutation (inserts, deletes,
+// updates), maintains the tuple graph and the keyword index incrementally —
+// adjacency deltas from re-resolved foreign keys in both directions, posting
+// additions and tombstone-free removals — and atomically publishes the
+// result as the next generation; a from-scratch rebuild of the mutated
+// database would produce byte-identical search output, and the
+// rebuild-equivalence property tests in kws enforce exactly that. Readers
+// never block and never tear: an in-flight Search, Stream or SearchBatch
+// call keeps the generation it started on while writers queue behind each
+// other. Once a Database has been handed to kws.New it freezes — direct
+// Insert/AddTable/LoadCSV calls fail with kws.ErrFrozenDatabase instead of
+// silently diverging from the engine's substrates.
+//
 // The paper's contribution (conceptual connection lengths and close/loose
 // association analysis) is implemented in internal/core on top of an
 // in-memory relational engine, an ER layer, graph substrates, a keyword

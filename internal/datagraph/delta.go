@@ -1,0 +1,139 @@
+package datagraph
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// ApplyDelta returns a new graph reflecting a batch of tuple mutations
+// without rebuilding: `removed` are tuples no longer in db, `added` are
+// tuples now in db (an updated tuple appears in both lists). The receiver is
+// left untouched — adjacency lists of unaffected nodes are shared between
+// the two graphs, so concurrent readers of the old graph keep a consistent
+// view while the new one is assembled.
+//
+// Edges are re-resolved in both directions against the new database state:
+// an added tuple contributes its own outgoing foreign-key edges and the
+// incoming edges of every tuple referencing its key — including references
+// that dangled before the insert — while a removed tuple takes all of its
+// incident edges with it. Touched adjacency lists are re-sorted with Build's
+// comparator, so the result is byte-identical to a fresh Build of db.
+func (g *Graph) ApplyDelta(db *relation.Database, removed, added []*relation.Tuple) *Graph {
+	ng := &Graph{db: db, adjacency: make(map[relation.TupleID][]Edge, len(g.adjacency))}
+	for id, edges := range g.adjacency {
+		ng.adjacency[id] = edges
+	}
+
+	removedSet := make(map[relation.TupleID]bool, len(removed))
+	for _, tup := range removed {
+		removedSet[tup.ID()] = true
+	}
+
+	// Removals first: drop each removed node wholesale and queue the reverse
+	// entries held by its surviving neighbors for copy-on-write filtering.
+	drops := make(map[relation.TupleID]map[Edge]bool)
+	for _, tup := range removed {
+		id := tup.ID()
+		for _, e := range g.adjacency[id] {
+			if removedSet[e.To] {
+				continue // the neighbor's list disappears as a whole
+			}
+			rm := drops[e.To]
+			if rm == nil {
+				rm = make(map[Edge]bool)
+				drops[e.To] = rm
+			}
+			rm[e.Reverse()] = true
+		}
+		delete(ng.adjacency, id)
+	}
+
+	// Additions: resolve the edges of every added tuple in both directions
+	// against the new database state. An edge discovered from both endpoints
+	// (two added tuples referencing each other) is deduplicated.
+	adds := make(map[relation.TupleID][]Edge)
+	seen := make(map[Edge]bool)
+	addEdge := func(e Edge) {
+		if seen[e] {
+			return
+		}
+		seen[e] = true
+		adds[e.From] = append(adds[e.From], e)
+		adds[e.To] = append(adds[e.To], e.Reverse())
+	}
+	for _, tup := range added {
+		id := tup.ID()
+		if _, ok := ng.adjacency[id]; !ok {
+			ng.adjacency[id] = nil // isolated tuples are still nodes
+		}
+		t, ok := db.Table(id.Relation)
+		if !ok {
+			continue
+		}
+		// Outgoing: the added tuple's own resolved foreign keys.
+		for _, fk := range t.Schema().ForeignKeys {
+			ref, ok := db.ReferencedTuple(tup, fk)
+			if !ok {
+				continue
+			}
+			addEdge(Edge{From: id, To: ref.ID(), ForeignKey: fk.Label()})
+		}
+		// Incoming: tuples whose foreign key targets the added tuple's key —
+		// the per-table FK indexes record dangling references too, so inserts
+		// re-resolve them.
+		for _, ot := range db.Tables() {
+			for _, fk := range ot.Schema().ForeignKeys {
+				if fk.RefRelation != id.Relation {
+					continue
+				}
+				for _, rtup := range ot.ReferencingTuples(fk, id.Key) {
+					addEdge(Edge{From: rtup.ID(), To: id, ForeignKey: fk.Label()})
+				}
+			}
+		}
+	}
+
+	// Rewrite every touched adjacency list copy-on-write: filter the queued
+	// drops, append the new entries, and restore Build's sort order.
+	touched := make(map[relation.TupleID]bool, len(drops)+len(adds))
+	for id := range drops {
+		touched[id] = true
+	}
+	for id := range adds {
+		touched[id] = true
+	}
+	for id := range touched {
+		if _, present := ng.adjacency[id]; !present {
+			continue // dropped node: nothing to rewrite
+		}
+		old := ng.adjacency[id]
+		next := make([]Edge, 0, len(old)+len(adds[id]))
+		rm := drops[id]
+		for _, e := range old {
+			if !rm[e] {
+				next = append(next, e)
+			}
+		}
+		next = append(next, adds[id]...)
+		sort.Slice(next, func(i, j int) bool {
+			if next[i].To != next[j].To {
+				return next[i].To.Less(next[j].To)
+			}
+			return next[i].ForeignKey < next[j].ForeignKey
+		})
+		if len(next) == 0 {
+			next = nil // match Build: isolated nodes carry a nil list
+		}
+		ng.adjacency[id] = next
+	}
+
+	// Every undirected edge holds exactly two adjacency entries (self-loops
+	// included), so the count is recovered from the list lengths.
+	entries := 0
+	for _, edges := range ng.adjacency {
+		entries += len(edges)
+	}
+	ng.edgeCount = entries / 2
+	return ng
+}

@@ -1,0 +1,75 @@
+package index
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// tokenizerSeeds feed both fuzz targets: typical attribute values, the
+// paper's punctuated keyword ("XML-based"), unicode text, digits, and
+// degenerate inputs.
+var tokenizerSeeds = []string{
+	"",
+	"XML",
+	"XML-based documents",
+	"information retrieval",
+	"The main topics of teaching are programming, databases and XML.",
+	"  leading and trailing  ",
+	"a1b2 c3",
+	"Näin käy: päätös!",
+	"ΑΒΓ δεζ",
+	"\x00\xff broken � bytes",
+	strings.Repeat("long ", 50),
+}
+
+// FuzzTokenize checks the tokenizer's structural invariants for arbitrary
+// input: tokens are non-empty, consist only of letters and digits, are
+// case-folded, and tokenizing the rejoined tokens is a fixed point — the
+// property the index relies on when it normalizes query keywords with the
+// same tokenizer that built the postings.
+func FuzzTokenize(f *testing.F) {
+	for _, s := range tokenizerSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		tokens := Tokenize(text)
+		for _, tok := range tokens {
+			if tok == "" {
+				t.Fatalf("Tokenize(%q) produced an empty token", text)
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("Tokenize(%q): token %q contains separator rune %q", text, tok, r)
+				}
+			}
+			if low := strings.Map(unicode.ToLower, tok); low != tok {
+				t.Fatalf("Tokenize(%q): token %q is not case-folded (want %q)", text, tok, low)
+			}
+		}
+		again := Tokenize(strings.Join(tokens, " "))
+		if !reflect.DeepEqual(again, tokens) {
+			t.Fatalf("Tokenize is not a fixed point: %q -> %v -> %v", text, tokens, again)
+		}
+	})
+}
+
+// FuzzNormalizeKeyword checks that keyword normalization is idempotent and
+// agrees with the tokenizer, so a keyword normalized any number of times
+// matches exactly the same postings.
+func FuzzNormalizeKeyword(f *testing.F) {
+	for _, s := range tokenizerSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, keyword string) {
+		norm := NormalizeKeyword(keyword)
+		if again := NormalizeKeyword(norm); again != norm {
+			t.Fatalf("NormalizeKeyword not idempotent: %q -> %q -> %q", keyword, norm, again)
+		}
+		if !reflect.DeepEqual(Tokenize(norm), Tokenize(keyword)) {
+			t.Fatalf("normalization changed the token stream: %q -> %q (%v vs %v)",
+				keyword, norm, Tokenize(keyword), Tokenize(norm))
+		}
+	})
+}

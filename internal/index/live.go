@@ -1,0 +1,135 @@
+package index
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Apply returns a new index reflecting a batch of tuple mutations without
+// rebuilding: `removed` are tuples no longer in db, `added` are tuples now in
+// db (an updated tuple appears in both lists, old version then new). The
+// receiver is left untouched — posting maps of unaffected terms are shared
+// between the two indexes, and only the terms occurring in a mutated tuple
+// are copied before being written.
+//
+// Maintenance is tombstone-free: a term whose last posting is removed leaves
+// the vocabulary entirely (no empty map survives), and a removed tuple drops
+// out of the document-length table, so the result is structurally identical
+// to a fresh Build of db — DocCount, TermCount, per-term document frequencies
+// and TF-IDF scores all match exactly.
+func (idx *Index) Apply(db *relation.Database, removed, added []*relation.Tuple) *Index {
+	next := &Index{
+		db:       db,
+		postings: make(map[string]map[relation.TupleID]*posting, len(idx.postings)),
+		docLen:   make(map[relation.TupleID]int, len(idx.docLen)),
+		docCount: idx.docCount,
+	}
+	for term, byTuple := range idx.postings {
+		next.postings[term] = byTuple
+	}
+	for id, n := range idx.docLen {
+		next.docLen[id] = n
+	}
+
+	// own returns a private copy of the term's posting map, made once per
+	// Apply; untouched terms keep sharing the receiver's maps.
+	owned := make(map[string]map[relation.TupleID]*posting)
+	own := func(term string) map[relation.TupleID]*posting {
+		if m, ok := owned[term]; ok {
+			return m
+		}
+		old := idx.postings[term]
+		m := make(map[relation.TupleID]*posting, len(old)+1)
+		for id, p := range old {
+			m[id] = p
+		}
+		owned[term] = m
+		next.postings[term] = m
+		return m
+	}
+
+	// Removals first, so a tuple updated in place (same id removed then
+	// re-added) never mixes old and new postings.
+	for _, tup := range removed {
+		id := tup.ID()
+		next.docCount--
+		delete(next.docLen, id)
+		for _, text := range tup.AttributeText() {
+			for _, term := range Tokenize(text) {
+				delete(own(term), id)
+			}
+		}
+	}
+	for _, tup := range added {
+		id := tup.ID()
+		next.docCount++
+		for column, text := range tup.AttributeText() {
+			for _, term := range Tokenize(text) {
+				byTuple := own(term)
+				p := byTuple[id]
+				if p == nil {
+					p = &posting{columns: make(map[string]bool)}
+					byTuple[id] = p
+				}
+				p.tf++
+				p.columns[column] = true
+				next.docLen[id]++
+			}
+		}
+	}
+
+	// Tombstone-free compaction: terms whose postings emptied out leave the
+	// vocabulary, exactly as if the index had been rebuilt without them.
+	for term, m := range owned {
+		if len(m) == 0 {
+			delete(next.postings, term)
+		}
+	}
+	return next
+}
+
+// TermPosting is the exported snapshot of one posting, used by the
+// rebuild-equivalence tests and debugging tools to compare indexes.
+type TermPosting struct {
+	// Tuple is the posting's document.
+	Tuple relation.TupleID
+	// TF is the term frequency within the tuple.
+	TF int
+	// Columns are the attribute names containing the term, sorted.
+	Columns []string
+}
+
+// TermPostings returns the postings of a raw (already tokenized) term,
+// sorted by tuple id. Unknown terms return nil.
+func (idx *Index) TermPostings(term string) []TermPosting {
+	byTuple := idx.postings[term]
+	if len(byTuple) == 0 {
+		return nil
+	}
+	out := make([]TermPosting, 0, len(byTuple))
+	for id, p := range byTuple {
+		cols := make([]string, 0, len(p.columns))
+		for c := range p.columns {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		out = append(out, TermPosting{Tuple: id, TF: p.tf, Columns: cols})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Less(out[j].Tuple) })
+	return out
+}
+
+// DocLength returns the number of indexed term occurrences of the tuple
+// (0 for tuples with no indexed text).
+func (idx *Index) DocLength(id relation.TupleID) int { return idx.docLen[id] }
+
+// Dump renders the whole index as term -> sorted postings, for equivalence
+// checks between incrementally maintained and freshly built indexes.
+func (idx *Index) Dump() map[string][]TermPosting {
+	out := make(map[string][]TermPosting, len(idx.postings))
+	for term := range idx.postings {
+		out[term] = idx.TermPostings(term)
+	}
+	return out
+}

@@ -47,6 +47,37 @@ func (db *Database) MustCreateTable(schema *Schema) *Table {
 	return t
 }
 
+// Clone returns a shallow copy of the catalog: the clone owns its table map
+// and creation order but shares the *Table values with the receiver. Pair it
+// with Table.Clone and SetTable to mutate a database copy-on-write — clone
+// the catalog, clone only the tables being written, and leave every other
+// table shared with the original.
+func (db *Database) Clone() *Database {
+	nd := &Database{
+		Name:   db.Name,
+		tables: make(map[string]*Table, len(db.tables)),
+		order:  append([]string(nil), db.order...),
+	}
+	for name, t := range db.tables {
+		nd.tables[name] = t
+	}
+	return nd
+}
+
+// SetTable replaces the same-named table of the catalog, typically with a
+// clone about to be mutated. The table must already exist: SetTable is a
+// copy-on-write hook, not DDL.
+func (db *Database) SetTable(t *Table) error {
+	if t == nil {
+		return fmt.Errorf("relation: nil table")
+	}
+	if _, ok := db.tables[t.Name()]; !ok {
+		return fmt.Errorf("relation: SetTable: unknown table %s", t.Name())
+	}
+	db.tables[t.Name()] = t
+	return nil
+}
+
 // Table returns the named table.
 func (db *Database) Table(name string) (*Table, bool) {
 	t, ok := db.tables[name]

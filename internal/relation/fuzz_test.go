@@ -1,0 +1,72 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzCSVSchema mirrors a typical table: a string key, a string attribute,
+// a nullable int and a nullable text column.
+func fuzzCSVSchema() *Schema {
+	return MustSchema("T",
+		[]Column{
+			{Name: "ID", Type: TypeString},
+			{Name: "NAME", Type: TypeString},
+			{Name: "N", Type: TypeInt, Nullable: true},
+			{Name: "NOTES", Type: TypeText, Nullable: true},
+		},
+		[]string{"ID"})
+}
+
+// FuzzLoadCSV feeds arbitrary bytes through the CSV ingestion path. Whatever
+// the input, LoadCSV must not panic, must report exactly as many rows as it
+// inserted, and successfully loaded tables must survive a WriteCSV/LoadCSV
+// round trip with the same row count and primary keys.
+func FuzzLoadCSV(f *testing.F) {
+	seeds := []string{
+		"ID,NAME,N,NOTES\nd1,cs,5,hello\n",
+		"ID,NAME\nd1,cs\nd2,math\n",
+		"ID\n",
+		"",
+		"ID,NAME\nd1,\"quoted, comma\"\n",
+		"ID,NAME\nd1,cs\nd1,dup\n",           // duplicate primary key
+		"NOPE\nx\n",                          // unknown column
+		"ID,N\nd1,notanumber\n",              // type error
+		"ID,NAME\n\"unterminated,cs\n",       // malformed csv
+		"ID,NAME,N,NOTES\nd1,cs,,\n",         // NULLs
+		"ID,NAME\nd1\nd2,b,extra,even,more\n", // ragged rows
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		tab := NewTable(fuzzCSVSchema())
+		n, err := LoadCSV(strings.NewReader(data), tab)
+		if n != tab.Len() {
+			t.Fatalf("LoadCSV reported %d rows but the table holds %d (err=%v)", n, tab.Len(), err)
+		}
+		if err != nil || n == 0 {
+			return
+		}
+		// Round trip: what WriteCSV emits, LoadCSV accepts, preserving the
+		// row count and every primary key.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tab); err != nil {
+			t.Fatalf("WriteCSV after successful load: %v", err)
+		}
+		tab2 := NewTable(fuzzCSVSchema())
+		n2, err := LoadCSV(bytes.NewReader(buf.Bytes()), tab2)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\ncsv:\n%s", err, buf.String())
+		}
+		if n2 != n {
+			t.Fatalf("round trip changed the row count: %d -> %d", n, n2)
+		}
+		for _, tup := range tab.Tuples() {
+			if _, ok := tab2.ByPrimaryKey(tup.ID().Key); !ok {
+				t.Fatalf("round trip lost tuple %s", tup.ID())
+			}
+		}
+	})
+}

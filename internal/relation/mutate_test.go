@@ -1,0 +1,161 @@
+package relation
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mutableFixture builds a two-table database (DEPT <- EMP via WORKS_FOR)
+// used by the clone/delete tests.
+func mutableFixture(t *testing.T) (*Database, *Table, *Table) {
+	t.Helper()
+	db := NewDatabase("mut")
+	dept := db.MustCreateTable(MustSchema("DEPT",
+		[]Column{{Name: "ID", Type: TypeString}, {Name: "D_NAME", Type: TypeString}},
+		[]string{"ID"}))
+	emp := db.MustCreateTable(MustSchema("EMP",
+		[]Column{
+			{Name: "ID", Type: TypeString},
+			{Name: "NAME", Type: TypeString},
+			{Name: "D_ID", Type: TypeString, Nullable: true},
+		},
+		[]string{"ID"},
+		ForeignKey{Name: "WORKS_FOR", Columns: []string{"D_ID"}, RefRelation: "DEPT", RefColumns: []string{"ID"}}))
+	for _, row := range []map[string]Value{
+		{"ID": String("d1"), "D_NAME": String("cs")},
+		{"ID": String("d2"), "D_NAME": String("math")},
+	} {
+		if _, err := dept.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, row := range []map[string]Value{
+		{"ID": String("e1"), "NAME": String("Smith"), "D_ID": String("d1")},
+		{"ID": String("e2"), "NAME": String("Miller"), "D_ID": String("d1")},
+		{"ID": String("e3"), "NAME": String("Walker"), "D_ID": String("d2")},
+	} {
+		if _, err := emp.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, dept, emp
+}
+
+func tupleIDs(t *Table) []TupleID {
+	out := make([]TupleID, 0, t.Len())
+	for _, tup := range t.Tuples() {
+		out = append(out, tup.ID())
+	}
+	return out
+}
+
+func TestTableDelete(t *testing.T) {
+	_, dept, emp := mutableFixture(t)
+	fk := emp.Schema().ForeignKeys[0]
+
+	tup, ok := emp.Delete("e2")
+	if !ok || tup.ID().Key != "e2" {
+		t.Fatalf("Delete(e2) = %v, %v", tup, ok)
+	}
+	if emp.Len() != 2 {
+		t.Fatalf("Len after delete = %d, want 2", emp.Len())
+	}
+	if _, ok := emp.ByPrimaryKey("e2"); ok {
+		t.Fatal("deleted tuple still reachable by primary key")
+	}
+	// Insertion order of the survivors is preserved.
+	want := []TupleID{{Relation: "EMP", Key: "e1"}, {Relation: "EMP", Key: "e3"}}
+	if got := tupleIDs(emp); !reflect.DeepEqual(got, want) {
+		t.Fatalf("tuples after delete = %v, want %v", got, want)
+	}
+	// The foreign-key index forgets the tuple too.
+	refs := emp.ReferencingTuples(fk, "d1")
+	if len(refs) != 1 || refs[0].ID().Key != "e1" {
+		t.Fatalf("ReferencingTuples(d1) after delete = %v", refs)
+	}
+	// The removed tuple stays readable.
+	if got := tup.Value("NAME").AsString(); got != "Miller" {
+		t.Fatalf("removed tuple NAME = %q", got)
+	}
+	// Deleting a missing key reports false without panicking.
+	if _, ok := emp.Delete("nope"); ok {
+		t.Fatal("Delete of missing key reported success")
+	}
+	// A referenced tuple can be deleted (the data may dangle; the graph and
+	// CheckIntegrity deal with it).
+	if _, ok := dept.Delete("d1"); !ok {
+		t.Fatal("Delete(d1) failed")
+	}
+}
+
+func TestTableCloneIsolation(t *testing.T) {
+	_, _, emp := mutableFixture(t)
+	fk := emp.Schema().ForeignKeys[0]
+	clone := emp.Clone()
+
+	// Mutating the clone leaves the original untouched.
+	if _, ok := clone.Delete("e1"); !ok {
+		t.Fatal("clone Delete(e1) failed")
+	}
+	if _, err := clone.Insert(map[string]Value{"ID": String("e9"), "NAME": String("New"), "D_ID": String("d2")}); err != nil {
+		t.Fatal(err)
+	}
+	if emp.Len() != 3 {
+		t.Fatalf("original Len changed to %d", emp.Len())
+	}
+	if _, ok := emp.ByPrimaryKey("e1"); !ok {
+		t.Fatal("original lost e1 after clone delete")
+	}
+	if _, ok := emp.ByPrimaryKey("e9"); ok {
+		t.Fatal("original gained e9 after clone insert")
+	}
+	if got := len(emp.ReferencingTuples(fk, "d2")); got != 1 {
+		t.Fatalf("original FK index for d2 has %d entries, want 1", got)
+	}
+	if got := len(clone.ReferencingTuples(fk, "d2")); got != 2 {
+		t.Fatalf("clone FK index for d2 has %d entries, want 2", got)
+	}
+
+	// And the other direction: mutating the original leaves the clone alone.
+	if _, ok := emp.Delete("e3"); !ok {
+		t.Fatal("original Delete(e3) failed")
+	}
+	if _, ok := clone.ByPrimaryKey("e3"); !ok {
+		t.Fatal("clone lost e3 after original delete")
+	}
+}
+
+func TestDatabaseCloneSharesTablesUntilSet(t *testing.T) {
+	db, _, emp := mutableFixture(t)
+	cl := db.Clone()
+	if got, _ := cl.Table("EMP"); got != emp {
+		t.Fatal("clone does not share the EMP table")
+	}
+	if !reflect.DeepEqual(cl.TableNames(), db.TableNames()) {
+		t.Fatalf("clone order %v != %v", cl.TableNames(), db.TableNames())
+	}
+
+	// Copy-on-write: replace EMP in the clone, mutate it, original unaffected.
+	emp2 := emp.Clone()
+	if err := cl.SetTable(emp2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := emp2.Delete("e1"); !ok {
+		t.Fatal("Delete on cloned table failed")
+	}
+	if got, _ := db.Table("EMP"); got != emp || got.Len() != 3 {
+		t.Fatal("original database saw the copy-on-write mutation")
+	}
+	if got, _ := cl.Table("EMP"); got.Len() != 2 {
+		t.Fatal("clone did not see its own mutation")
+	}
+	if db.TupleCount() != 5 || cl.TupleCount() != 4 {
+		t.Fatalf("tuple counts: original %d (want 5), clone %d (want 4)", db.TupleCount(), cl.TupleCount())
+	}
+
+	// SetTable refuses tables the catalog never declared.
+	other := NewTable(MustSchema("OTHER", []Column{{Name: "ID", Type: TypeString}}, []string{"ID"}))
+	if err := cl.SetTable(other); err == nil {
+		t.Fatal("SetTable accepted an unknown table")
+	}
+}

@@ -106,6 +106,79 @@ func (t *Table) indexForeignKeys(tup *Tuple) {
 	}
 }
 
+// Delete removes the tuple with the given encoded primary key from the
+// table and all of its indexes, preserving the insertion order of the
+// remaining tuples. It returns the removed tuple, or false when no tuple has
+// the key. The removed tuple itself stays valid (tuples are immutable), so
+// callers can still read its values — the incremental index and graph
+// maintenance rely on this to compute removal deltas.
+func (t *Table) Delete(key string) (*Tuple, bool) {
+	tup, ok := t.byPK[key]
+	if !ok {
+		return nil, false
+	}
+	delete(t.byPK, key)
+	for i, cur := range t.tuples {
+		if cur == tup {
+			t.tuples = append(t.tuples[:i:i], t.tuples[i+1:]...)
+			break
+		}
+	}
+	t.unindexForeignKeys(tup)
+	return tup, true
+}
+
+func (t *Table) unindexForeignKeys(tup *Tuple) {
+	for _, fk := range t.schema.ForeignKeys {
+		vals, ok := tup.ForeignKeyValues(fk)
+		if !ok {
+			continue
+		}
+		idx := t.byFK[fk.Label()]
+		if idx == nil {
+			continue
+		}
+		key := EncodeKey(vals)
+		tups := idx[key]
+		for i, cur := range tups {
+			if cur == tup {
+				tups = append(tups[:i:i], tups[i+1:]...)
+				break
+			}
+		}
+		if len(tups) == 0 {
+			delete(idx, key)
+		} else {
+			idx[key] = tups
+		}
+	}
+}
+
+// Clone returns a copy of the table that shares the immutable tuples but owns
+// every index structure: the tuple slice, the primary-key index and the
+// per-foreign-key indexes are all fresh, so Insert and Delete on the clone
+// never touch the receiver (and vice versa). Copy-on-write snapshots build on
+// this.
+func (t *Table) Clone() *Table {
+	nt := &Table{
+		schema: t.schema,
+		tuples: append([]*Tuple(nil), t.tuples...),
+		byPK:   make(map[string]*Tuple, len(t.byPK)),
+		byFK:   make(map[string]map[string][]*Tuple, len(t.byFK)),
+	}
+	for k, tup := range t.byPK {
+		nt.byPK[k] = tup
+	}
+	for label, idx := range t.byFK {
+		ni := make(map[string][]*Tuple, len(idx))
+		for key, tups := range idx {
+			ni[key] = append([]*Tuple(nil), tups...)
+		}
+		nt.byFK[label] = ni
+	}
+	return nt
+}
+
 // ByPrimaryKey returns the tuple with the given encoded primary key.
 func (t *Table) ByPrimaryKey(key string) (*Tuple, bool) {
 	tup, ok := t.byPK[key]

@@ -187,7 +187,11 @@ func (e *Engine) Stream(ctx context.Context, keywords []string, opts Options, yi
 	matches := e.index.MatchAll(keywords)
 	keywordTuples := make(map[string]map[relation.TupleID]bool, len(keywords))
 	tupleKeywords := make(map[relation.TupleID][]string)
-	for kw, ms := range matches {
+	// Iterate the query's keyword order, not the matches map: per-tuple
+	// keyword lists (and therefore the rendered answers) must not depend on
+	// map iteration order when one tuple matches several keywords.
+	for _, kw := range keywords {
+		ms := matches[kw]
 		set := make(map[relation.TupleID]bool, len(ms))
 		for _, m := range ms {
 			set[m.Tuple] = true

@@ -255,3 +255,34 @@ func TestDefaultOptions(t *testing.T) {
 		t.Errorf("DefaultOptions = %+v", opts)
 	}
 }
+
+// TestMatchedKeywordOrderFollowsQuery pins the per-tuple matched-keyword
+// order to the query's keyword order. The construction used to iterate the
+// keyword->matches map, so a tuple matching several keywords (here the
+// department descriptions containing both "teaching" and "XML") rendered its
+// keyword list in random map order, making repeated identical searches
+// disagree byte-for-byte.
+func TestMatchedKeywordOrderFollowsQuery(t *testing.T) {
+	e := newEngine(t, Options{MaxEdges: 2, RequireAllKeywords: true})
+	for _, keywords := range [][]string{{"teaching", "XML"}, {"XML", "teaching"}} {
+		answers, err := e.Search(keywords)
+		if err != nil {
+			t.Fatalf("Search(%v): %v", keywords, err)
+		}
+		checked := false
+		for _, a := range answers {
+			for _, kws := range a.Matches {
+				if len(kws) < 2 {
+					continue
+				}
+				checked = true
+				if kws[0] != keywords[0] || kws[1] != keywords[1] {
+					t.Fatalf("query %v rendered matched keywords %v; want query order", keywords, kws)
+				}
+			}
+		}
+		if !checked {
+			t.Fatalf("fixture: no tuple matched both keywords of %v", keywords)
+		}
+	}
+}

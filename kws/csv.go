@@ -13,6 +13,9 @@ import (
 // exist in the table) into an existing table and returns the number of rows
 // loaded. It accepts exactly the files cmd/dbgen writes.
 func (d *Database) LoadCSV(table string, r io.Reader) (int, error) {
+	if d.Frozen() {
+		return 0, ErrFrozenDatabase
+	}
 	t, ok := d.db.Table(table)
 	if !ok {
 		return 0, fmt.Errorf("kws: unknown table %s", table)

@@ -60,16 +60,56 @@
 //		}
 //		consume(br.Results)
 //	}
+//
+// # Live updates and snapshots
+//
+// An Engine is live: Engine.Apply takes a batched Mutation — Insert, Delete
+// and Update ops — and publishes its effect as the engine's next generation,
+// maintaining the tuple graph and the keyword index incrementally instead of
+// rebuilding them:
+//
+//	gen, err := engine.Apply(ctx, kws.Mutation{Ops: []kws.Op{
+//		kws.Insert("EMPLOYEE", map[string]any{"SSN": "e5", "L_NAME": "Turing", "D_ID": "d1"}),
+//		kws.Update("EMPLOYEE", map[string]any{"SSN": "e1"}, map[string]any{"D_ID": "d2"}),
+//		kws.Delete("DEPENDENT", map[string]any{"ID": "t2"}),
+//	}})
+//
+// Generations are immutable and published atomically. Apply guarantees to
+// concurrent readers: (1) no blocking — Search, Stream and SearchBatch never
+// wait for a writer; (2) no torn reads — a call uses the generation current
+// at its start for its whole duration, a SearchBatch answers every query of
+// the batch from one generation, and a Stream keeps yielding its generation
+// even when mutations land mid-stream; (3) atomicity — a batch either
+// publishes completely or, on any error (including context cancellation),
+// not at all, leaving the engine on its previous generation; and (4)
+// rebuild equivalence — after any sequence of mutations, search output is
+// byte-identical to a fresh kws.New over the mutated data (the property
+// tests in this package enforce this). Engine.Generation reports the current
+// generation number. Writers are serialized; readers scale independently.
+//
+// Once handed to kws.New, a Database freezes: Insert, AddTable and the CSV
+// loaders fail with ErrFrozenDatabase instead of mutating data behind the
+// engine's back. Route all changes through Engine.Apply.
 package kws
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/paperdb"
 	"repro/internal/relation"
 	"repro/internal/workload"
 )
+
+// ErrFrozenDatabase is returned by Database mutators (AddTable, Insert,
+// LoadCSV, LoadCSVDir) after the database has been handed to kws.New. A
+// built engine snapshots the data: writes through the facade would neither
+// reach the engine's graph and index (stale reads) nor stay isolated from
+// its association analyzer — route every change through Engine.Apply
+// instead.
+var ErrFrozenDatabase = errors.New("kws: database is frozen by an engine; apply changes through Engine.Apply")
 
 // ColumnSpec declares one column of a table.
 type ColumnSpec struct {
@@ -104,10 +144,20 @@ type TableSpec struct {
 	ForeignKeys []ForeignKeySpec
 }
 
-// Database is a self-contained in-memory relational database.
+// Database is a self-contained in-memory relational database. Once handed to
+// kws.New it freezes: further AddTable, Insert and CSV loads fail with
+// ErrFrozenDatabase, and changes flow through Engine.Apply.
 type Database struct {
-	db *relation.Database
+	db     *relation.Database
+	frozen atomic.Bool
 }
+
+// freeze marks the database as owned by an engine; see ErrFrozenDatabase.
+func (d *Database) freeze() { d.frozen.Store(true) }
+
+// Frozen reports whether the database has been handed to kws.New and is now
+// read-only through this facade.
+func (d *Database) Frozen() bool { return d.frozen.Load() }
 
 // NewDatabase creates an empty database with the given name.
 func NewDatabase(name string) *Database {
@@ -116,6 +166,9 @@ func NewDatabase(name string) *Database {
 
 // AddTable adds a table according to the specification.
 func (d *Database) AddTable(spec TableSpec) error {
+	if d.Frozen() {
+		return ErrFrozenDatabase
+	}
 	cols := make([]relation.Column, 0, len(spec.Columns))
 	for _, c := range spec.Columns {
 		t, err := parseColumnType(c.Type)
@@ -142,25 +195,23 @@ func (d *Database) AddTable(spec TableSpec) error {
 }
 
 // Insert adds a row to a table. Values may be string, int, int64, float64 or
-// bool; missing columns become NULL.
+// bool; missing columns become NULL. After the database has been given to
+// kws.New, Insert fails with ErrFrozenDatabase — historically it silently
+// mutated the relational data behind the frozen engine's back, which the
+// engine's index and graph never saw (a stale read) while its analyzer did.
 func (d *Database) Insert(table string, row map[string]any) error {
+	if d.Frozen() {
+		return ErrFrozenDatabase
+	}
 	t, ok := d.db.Table(table)
 	if !ok {
 		return fmt.Errorf("kws: unknown table %s", table)
 	}
-	values := make(map[string]relation.Value, len(row))
-	for col, v := range row {
-		def, ok := t.Schema().Column(col)
-		if !ok {
-			return fmt.Errorf("kws: table %s has no column %s", table, col)
-		}
-		rv, err := toValue(v, def.Type)
-		if err != nil {
-			return fmt.Errorf("kws: %s.%s: %w", table, col, err)
-		}
-		values[col] = rv
+	values, err := coerceRow(t, row)
+	if err != nil {
+		return fmt.Errorf("kws: %w", err)
 	}
-	_, err := t.Insert(values)
+	_, err = t.Insert(values)
 	return err
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"iter"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/datagraph"
@@ -77,12 +78,32 @@ type Result struct {
 // goroutine-safe and serves many concurrent queries, each with its own
 // engine kind, ranking strategy and budgets (see Query); the expensive
 // substrates — data graph, keyword index, association analyzer — are built
-// once and shared, while per-kind searchers are constructed lazily by the
-// registered factories and cached.
+// once per generation and shared, while per-kind searchers are constructed
+// lazily by the registered factories and cached per generation.
+//
+// An Engine is live: Apply mutates the underlying data and publishes a new
+// immutable generation atomically, while in-flight Search, Stream and
+// SearchBatch calls keep reading the generation they started on. See
+// "Live updates and snapshots" in the package documentation.
 type Engine struct {
 	defaults Config
 	labeler  Labeler
-	comp     Components
+
+	// snap is the current generation; readers load it once per call and
+	// never block on writers.
+	snap atomic.Pointer[snapshot]
+	// applyMu serializes writers (Apply publishes generations one at a time).
+	applyMu sync.Mutex
+}
+
+// snapshot is one immutable generation of the engine's substrates plus its
+// own lazily built searcher cache. Searchers capture the generation's
+// components, so they are invalidated wholesale when a new generation is
+// published — the next query of each kind rebuilds its searcher over the new
+// graph and index.
+type snapshot struct {
+	gen  uint64
+	comp Components
 
 	mu        sync.Mutex
 	searchers map[EngineKind]Searcher
@@ -181,6 +202,11 @@ func New(db *Database, opts ...Option) (*Engine, error) {
 	if labeler == nil {
 		labeler = func(id TupleID) string { return id.String() }
 	}
+	// Freeze the facade before reading the data: from here on the engine
+	// owns the database, and direct writes through the Database facade would
+	// bypass the snapshot discipline (see Database.Insert and Engine.Apply).
+	// Nothing below can fail, so a failed New never leaves a frozen database.
+	db.freeze()
 	// The tuple graph and the inverted index are independent substrates;
 	// build them concurrently, each fanning out per-table workers.
 	// Parallelism 1 means fully sequential everywhere, including here.
@@ -204,9 +230,8 @@ func New(db *Database, opts ...Option) (*Engine, error) {
 		}()
 		wg.Wait()
 	}
-	return &Engine{
-		defaults: cfg,
-		labeler:  labeler,
+	e := &Engine{defaults: cfg, labeler: labeler}
+	e.snap.Store(&snapshot{
 		comp: Components{
 			DB:       inner,
 			Graph:    graph,
@@ -214,8 +239,18 @@ func New(db *Database, opts ...Option) (*Engine, error) {
 			Analyzer: analyzer,
 		},
 		searchers: make(map[EngineKind]Searcher),
-	}, nil
+	})
+	return e, nil
 }
+
+// current returns the generation a call should read. Each public entry point
+// loads it exactly once, so one call never mixes two generations.
+func (e *Engine) current() *snapshot { return e.snap.Load() }
+
+// Generation returns the number of the currently published generation. It
+// starts at 0 for a freshly built engine and increases by one per successful
+// Apply.
+func (e *Engine) Generation() uint64 { return e.current().gen }
 
 // resolve fills a query's zero options from the engine defaults. The engine
 // kind is validated by the searcher lookup that follows every resolve;
@@ -269,39 +304,47 @@ func (e *Engine) scorerFor(q Query) (ranking.Scorer, error) {
 	return scorer, nil
 }
 
-// searcher returns the cached searcher of the kind, building it through the
-// registered factory on first use. The factory runs outside the lock so a
-// slow first-use construction of one kind never stalls concurrent queries of
-// the others; racing builders are possible but harmless — the first result
-// cached wins.
-func (e *Engine) searcher(kind EngineKind) (Searcher, error) {
-	e.mu.Lock()
-	s, ok := e.searchers[kind]
-	e.mu.Unlock()
+// searcher returns the generation's cached searcher of the kind, building it
+// through the registered factory on first use. The factory runs outside the
+// lock so a slow first-use construction of one kind never stalls concurrent
+// queries of the others; racing builders are possible but harmless — the
+// first result cached wins.
+func (s *snapshot) searcher(kind EngineKind) (Searcher, error) {
+	s.mu.Lock()
+	cached, ok := s.searchers[kind]
+	s.mu.Unlock()
 	if ok {
-		return s, nil
+		return cached, nil
 	}
 	f, err := engineFactory(kind)
 	if err != nil {
 		return nil, err
 	}
-	built, err := f(e.comp)
+	built, err := f(s.comp)
 	if err != nil {
 		return nil, fmt.Errorf("kws: engine %q: %w", kind, err)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if s, ok := e.searchers[kind]; ok {
-		return s, nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cached, ok := s.searchers[kind]; ok {
+		return cached, nil
 	}
-	e.searchers[kind] = built
+	s.searchers[kind] = built
 	return built, nil
 }
 
 // Search answers the query and returns its ranked results. It is safe to
 // call concurrently with any mix of per-query options; a cancelled context
-// aborts the enumeration and returns ctx.Err().
+// aborts the enumeration and returns ctx.Err(). The whole call reads the
+// generation current at entry, even if Apply publishes newer ones while it
+// runs.
 func (e *Engine) Search(ctx context.Context, q Query) ([]Result, error) {
+	return e.searchOn(ctx, e.current(), q)
+}
+
+// searchOn is Search pinned to one generation; SearchBatch shares it so that
+// every query of a batch reads the same snapshot.
+func (e *Engine) searchOn(ctx context.Context, snap *snapshot, q Query) ([]Result, error) {
 	rq, err := e.resolve(q)
 	if err != nil {
 		return nil, err
@@ -310,7 +353,7 @@ func (e *Engine) Search(ctx context.Context, q Query) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := e.searcher(rq.Engine)
+	s, err := snap.searcher(rq.Engine)
 	if err != nil {
 		return nil, err
 	}
@@ -362,8 +405,13 @@ type BatchResult struct {
 // sequentially (unlike a direct Search call, where 0 inherits the engine
 // default). Set Query.Parallelism explicitly to give individual queries
 // their own worker pools on top of the batch's.
+//
+// A batch pins the generation current at entry: every query of the batch
+// reads the same snapshot, even when Apply publishes newer generations while
+// the batch runs.
 func (e *Engine) SearchBatch(ctx context.Context, queries []Query) []BatchResult {
 	out := make([]BatchResult, len(queries))
+	snap := e.current()
 	// A query's own fan-out shares the batch budget poorly if both default
 	// to GOMAXPROCS; batched queries therefore run their internals
 	// sequentially unless the query overrides Parallelism itself.
@@ -372,7 +420,7 @@ func (e *Engine) SearchBatch(ctx context.Context, queries []Query) []BatchResult
 		if q.Parallelism == 0 {
 			q.Parallelism = 1
 		}
-		results, err := e.Search(ctx, q)
+		results, err := e.searchOn(ctx, snap, q)
 		out[i] = BatchResult{Results: results, Err: err}
 		return nil // per-query errors never abort the batch
 	})
@@ -400,7 +448,7 @@ func (e *Engine) Stream(ctx context.Context, q Query, yield func(Result) bool) e
 	if err != nil {
 		return err
 	}
-	s, err := e.searcher(rq.Engine)
+	s, err := e.current().searcher(rq.Engine)
 	if err != nil {
 		return err
 	}
@@ -465,18 +513,19 @@ func toResult(a Answer, rank int, score float64, label Labeler) Result {
 	}
 }
 
-// Match returns the identifiers of the tuples matching a single keyword,
-// useful for exploring a database before searching.
+// Match returns the identifiers of the tuples matching a single keyword in
+// the current generation, useful for exploring a database before searching.
 func (e *Engine) Match(keyword string) []string {
 	var out []string
-	for _, m := range e.comp.Index.Match(keyword) {
+	for _, m := range e.current().comp.Index.Match(keyword) {
 		out = append(out, e.labeler(m.Tuple))
 	}
 	return out
 }
 
-// Stats summarises the opened database.
+// Stats summarises the current generation of the database.
 func (e *Engine) Stats() (relations, tuples, edges int) {
-	st := e.comp.DB.Stats()
-	return st.Relations, st.Tuples, e.comp.Graph.EdgeCount()
+	snap := e.current()
+	st := snap.comp.DB.Stats()
+	return st.Relations, st.Tuples, snap.comp.Graph.EdgeCount()
 }
