@@ -1,25 +1,60 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
+	"repro/internal/httpapi"
 	"repro/kws"
 )
 
+// paperConfig is the base invocation the tests tweak per case.
+func paperConfig(keywords ...string) config {
+	return config{
+		database: "paper",
+		scale:    1,
+		seed:     1,
+		engine:   kws.EnginePaths,
+		rank:     kws.RankCloseFirst,
+		maxJoins: 3,
+		keywords: keywords,
+	}
+}
+
+// runCapture runs one invocation and returns its stdout and stderr.
+func runCapture(t *testing.T, ctx context.Context, cfg config) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(ctx, cfg, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
 func TestRunPaperDatabase(t *testing.T) {
 	ctx := context.Background()
-	if err := run(ctx, "paper", 1, 1, kws.EnginePaths, kws.RankCloseFirst, 3, 0, false, true, []string{"Smith", "XML"}); err != nil {
+	cfg := paperConfig("Smith", "XML")
+	cfg.verbose = true
+	stdout, _, err := runCapture(t, ctx, cfg)
+	if err != nil {
 		t.Errorf("run: %v", err)
 	}
-	if err := run(ctx, "paper", 1, 1, kws.EngineMTJNT, kws.RankERLength, 3, 2, false, false, []string{"Smith", "XML"}); err != nil {
+	if !strings.Contains(stdout, "Smith") {
+		t.Errorf("stdout does not print results:\n%s", stdout)
+	}
+
+	cfg = paperConfig("Smith", "XML")
+	cfg.engine, cfg.rank, cfg.topK = kws.EngineMTJNT, kws.RankERLength, 2
+	if _, _, err := runCapture(t, ctx, cfg); err != nil {
 		t.Errorf("run mtjnt: %v", err)
 	}
 }
 
 func TestRunStreaming(t *testing.T) {
-	ctx := context.Background()
-	if err := run(ctx, "paper", 1, 1, kws.EnginePaths, kws.RankCloseFirst, 3, 2, true, false, []string{"Smith", "XML"}); err != nil {
+	cfg := paperConfig("Smith", "XML")
+	cfg.stream, cfg.topK = true, 2
+	if _, _, err := runCapture(t, context.Background(), cfg); err != nil {
 		t.Errorf("run -stream: %v", err)
 	}
 }
@@ -27,13 +62,15 @@ func TestRunStreaming(t *testing.T) {
 func TestRunCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if err := run(ctx, "paper", 1, 1, kws.EnginePaths, kws.RankCloseFirst, 3, 0, false, false, []string{"Smith", "XML"}); err == nil {
+	if _, _, err := runCapture(t, ctx, paperConfig("Smith", "XML")); err == nil {
 		t.Error("cancelled context should surface as an error")
 	}
 }
 
 func TestRunSyntheticDatabase(t *testing.T) {
-	if err := run(context.Background(), "synthetic", 1, 7, kws.EnginePaths, kws.RankERLength, 3, 5, false, false, []string{"databases", "Smith"}); err != nil {
+	cfg := paperConfig("databases", "Smith")
+	cfg.database, cfg.seed, cfg.rank, cfg.topK = "synthetic", 7, kws.RankERLength, 5
+	if _, _, err := runCapture(t, context.Background(), cfg); err != nil {
 		// The sampled keywords may be absent at tiny scales; only a
 		// configuration error is fatal here.
 		t.Logf("synthetic run reported: %v", err)
@@ -42,13 +79,142 @@ func TestRunSyntheticDatabase(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	ctx := context.Background()
-	if err := run(ctx, "bogus", 1, 1, kws.EnginePaths, kws.RankCloseFirst, 3, 0, false, false, []string{"x"}); err == nil {
+	cfg := paperConfig("x")
+	cfg.database = "bogus"
+	if _, _, err := runCapture(t, ctx, cfg); err == nil {
 		t.Error("unknown database should fail")
 	}
-	if err := run(ctx, "paper", 1, 1, "bogus", kws.RankCloseFirst, 3, 0, false, false, []string{"x"}); err == nil {
+	cfg = paperConfig("x")
+	cfg.engine = "bogus"
+	if _, _, err := runCapture(t, ctx, cfg); err == nil {
 		t.Error("unknown engine should fail")
 	}
-	if err := run(ctx, "paper", 1, 1, kws.EnginePaths, kws.RankCloseFirst, 3, 0, false, false, []string{"doesnotmatch", "XML"}); err == nil {
+	if _, _, err := runCapture(t, ctx, paperConfig("doesnotmatch", "XML")); err == nil {
 		t.Error("unmatched keyword should surface as an error")
+	}
+}
+
+// TestZeroAnswersHint: a query whose keywords all match but whose budget is
+// too tight must tell the user to widen it, on stderr, without failing.
+func TestZeroAnswersHint(t *testing.T) {
+	cfg := paperConfig("Alice", "XML")
+	cfg.maxJoins = 1
+	stdout, stderr, err := runCapture(t, context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("zero-answer run failed: %v", err)
+	}
+	if !strings.Contains(stdout, "no connections found") {
+		t.Errorf("stdout missing the no-connections line:\n%s", stdout)
+	}
+	if want := "no answers (try -maxjoins 2)"; !strings.Contains(stderr, want) {
+		t.Errorf("stderr = %q, want it to contain %q", stderr, want)
+	}
+
+	// The hint also fires in streaming mode.
+	cfg.stream = true
+	_, stderr, err = runCapture(t, context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("zero-answer stream run failed: %v", err)
+	}
+	if !strings.Contains(stderr, "no answers (try -maxjoins 2)") {
+		t.Errorf("stream stderr = %q, want the maxjoins hint", stderr)
+	}
+
+	// A query with answers must not hint.
+	_, stderr, err = runCapture(t, context.Background(), paperConfig("Smith", "XML"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stderr != "" {
+		t.Errorf("stderr = %q, want empty on a query with answers", stderr)
+	}
+}
+
+// newRemote starts an in-process kwsd-equivalent server on the paper
+// database and returns its base URL.
+func newRemote(t *testing.T) string {
+	t.Helper()
+	engine, err := kws.New(kws.PaperExample(), kws.WithLabeler(kws.PaperLabeler()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(httpapi.New(engine, httpapi.Options{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestRunRemote: -remote speaks the kwsd wire format and prints the same
+// result lines a local run would.
+func TestRunRemote(t *testing.T) {
+	url := newRemote(t)
+	ctx := context.Background()
+
+	local, _, err := runCapture(t, ctx, paperConfig("Smith", "XML"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := paperConfig("Smith", "XML")
+	cfg.remote = url
+	remote, _, err := runCapture(t, ctx, cfg)
+	if err != nil {
+		t.Fatalf("remote run: %v", err)
+	}
+	for _, line := range strings.Split(local, "\n") {
+		if strings.Contains(line, "len(RDB)") || strings.Contains(line, ". ") {
+			if !strings.Contains(remote, line) {
+				t.Errorf("remote output missing local line %q\nremote:\n%s", line, remote)
+			}
+		}
+	}
+	if !strings.Contains(remote, "generation 0") {
+		t.Errorf("remote output missing generation line:\n%s", remote)
+	}
+
+	// Second identical query is served from the server's cache.
+	remote2, _, err := runCapture(t, ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(remote2, "cached: true") {
+		t.Errorf("repeated remote query not reported cached:\n%s", remote2)
+	}
+}
+
+func TestRunRemoteStreamAndHint(t *testing.T) {
+	url := newRemote(t)
+	ctx := context.Background()
+
+	cfg := paperConfig("Smith", "XML")
+	cfg.remote, cfg.stream = url, true
+	stdout, _, err := runCapture(t, ctx, cfg)
+	if err != nil {
+		t.Fatalf("remote stream: %v", err)
+	}
+	if !strings.Contains(stdout, "Smith") {
+		t.Errorf("remote stream printed no results:\n%s", stdout)
+	}
+
+	cfg = paperConfig("Alice", "XML")
+	cfg.remote, cfg.maxJoins = url, 1
+	_, stderr, err := runCapture(t, ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr, "no answers (try -maxjoins 2)") {
+		t.Errorf("remote zero-answer stderr = %q, want the maxjoins hint", stderr)
+	}
+}
+
+func TestRunRemoteErrors(t *testing.T) {
+	url := newRemote(t)
+	cfg := paperConfig("doesnotmatch", "XML")
+	cfg.remote = url
+	if _, _, err := runCapture(t, context.Background(), cfg); err == nil {
+		t.Error("remote unmatched keyword should surface as an error")
+	}
+	cfg = paperConfig("Smith")
+	cfg.remote = "http://127.0.0.1:1" // nothing listens here
+	if _, _, err := runCapture(t, context.Background(), cfg); err == nil {
+		t.Error("unreachable remote should surface as an error")
 	}
 }

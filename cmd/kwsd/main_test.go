@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/httpapi"
+)
+
+func TestBuildEngine(t *testing.T) {
+	e, err := buildEngine("paper", 1, 1, 1)
+	if err != nil {
+		t.Fatalf("paper: %v", err)
+	}
+	if rels, tuples, _ := e.Stats(); rels == 0 || tuples == 0 {
+		t.Errorf("paper engine empty: %d relations, %d tuples", rels, tuples)
+	}
+	if _, err := buildEngine("synthetic", 1, 7, 1); err != nil {
+		t.Errorf("synthetic: %v", err)
+	}
+	if _, err := buildEngine("bogus", 1, 1, 1); err == nil {
+		t.Error("unknown database should fail")
+	}
+}
+
+// TestRunServesAndShutsDown boots the real server on an ephemeral port,
+// exercises the search/mutate/stats cycle over HTTP, and checks that
+// cancelling the context drains it.
+func TestRunServesAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", "paper", 1, 1, 1, httpapi.Options{}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	search := func() httpapi.SearchResponse {
+		body, _ := json.Marshal(httpapi.SearchRequest{Query: &httpapi.QueryRequest{
+			Keywords: []string{"Smith", "XML"}, MaxJoins: 3,
+		}})
+		resp, err := http.Post(base+"/v1/search", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("search status = %d", resp.StatusCode)
+		}
+		var sr httpapi.SearchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+	if first := search(); first.Cached || len(first.Results) == 0 {
+		t.Errorf("first search = cached %v, %d results", first.Cached, len(first.Results))
+	}
+	if second := search(); !second.Cached {
+		t.Error("second search not served from cache")
+	}
+
+	mutateBody, _ := json.Marshal(httpapi.MutateRequest{Ops: []httpapi.Op{{
+		Op: "delete", Table: "DEPENDENT", Key: map[string]any{"ID": "t2"},
+	}}})
+	resp, err := http.Post(base+"/v1/mutate", "application/json", bytes.NewReader(mutateBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate status = %d", resp.StatusCode)
+	}
+	if after := search(); after.Generation != 1 || after.Cached {
+		t.Errorf("post-mutation search = generation %d cached %v, want 1 and false", after.Generation, after.Cached)
+	}
+
+	statsResp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats httpapi.StatsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if stats.Cache.HitRate <= 0 {
+		t.Errorf("hit rate = %v, want > 0", stats.Cache.HitRate)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on shutdown", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

@@ -38,6 +38,16 @@
 // Insert/AddTable/LoadCSV calls fail with kws.ErrFrozenDatabase instead of
 // silently diverging from the engine's substrates.
 //
+// Caching and serving: kws.Cache fronts an Engine with a bounded, sharded
+// LRU keyed by (normalized query, generation) — a mutation implicitly
+// invalidates every cached result by publishing the next generation — with
+// singleflight collapsing of concurrent identical queries. cmd/kwsd serves
+// the engine and cache over HTTP (search with batch and NDJSON streaming,
+// mutate, health, stats) with admission control and latency metrics from
+// internal/metrics; cmd/ksearch -remote speaks the same wire format. See
+// ARCHITECTURE.md for the layer map and docs/http-api.md for the wire
+// reference.
+//
 // The paper's contribution (conceptual connection lengths and close/loose
 // association analysis) is implemented in internal/core on top of an
 // in-memory relational engine, an ER layer, graph substrates, a keyword

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-106.5) > 1e-9 {
+		t.Fatalf("Sum = %g, want 106.5", got)
+	}
+	if got := h.Mean(); math.Abs(got-21.3) > 1e-9 {
+		t.Fatalf("Mean = %g, want 21.3", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(10, 20, 30)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %g, want 0", got)
+	}
+	// 100 observations spread evenly into the (0,10] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 0 || p50 > 10 {
+		t.Fatalf("P50 = %g, want within (0,10]", p50)
+	}
+	// Push the tail into (20,30]: quantile ordering must hold.
+	for i := 0; i < 100; i++ {
+		h.Observe(25)
+	}
+	if p50, p99 := h.Quantile(0.5), h.Quantile(0.99); p99 < p50 {
+		t.Fatalf("P99 %g < P50 %g", p99, p50)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 20 || p99 > 30 {
+		t.Fatalf("P99 = %g, want within (20,30]", p99)
+	}
+}
+
+func TestHistogramOverflowClamps(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(1000)
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow P99 = %g, want clamp to 2", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(float64(i%4) * 0.001)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 4000 {
+		t.Fatalf("Count = %d, want 4000", got)
+	}
+	want := float64(500 * (0 + 1 + 2 + 3) * 2 * 1)
+	if got := h.Sum() * 1000; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Sum*1000 = %g, want %g", got, want)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("Counter not idempotent")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("Histogram not idempotent")
+	}
+	r.Counter("a").Add(3)
+	r.Histogram("h").Observe(0.01)
+	counters, histograms := r.Snapshot()
+	if counters["a"] != 3 {
+		t.Fatalf("snapshot counter = %d, want 3", counters["a"])
+	}
+	if histograms["h"].Count != 1 {
+		t.Fatalf("snapshot histogram count = %d, want 1", histograms["h"].Count)
+	}
+}

@@ -1,0 +1,49 @@
+package kws
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkCachedSearch compares a cache hit against the uncached search it
+// replaces, on the scale-4 workload. The acceptance bar of the serving
+// change is hit >= 10x faster than uncached (the hit pays only a key build,
+// one shard lock and a deep copy of the result set).
+func BenchmarkCachedSearch(b *testing.B) {
+	engine, err := New(SyntheticCompany(4, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	q := Query{Keywords: []string{"Smith", "databases"}, MaxJoins: 3}
+	probe, err := engine.Search(ctx, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(probe) == 0 {
+		b.Fatal("benchmark query has no results on the scale-4 workload")
+	}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Search(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		cache := NewCache(engine, CacheOptions{})
+		if _, err := cache.Search(ctx, q); err != nil { // warm the entry
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Search(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if st := cache.Stats(); st.Hits != int64(b.N) {
+			b.Fatalf("stats = %+v, want %d hits", st, b.N)
+		}
+	})
+}

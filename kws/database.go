@@ -90,6 +90,23 @@
 // Once handed to kws.New, a Database freezes: Insert, AddTable and the CSV
 // loaders fail with ErrFrozenDatabase instead of mutating data behind the
 // engine's back. Route all changes through Engine.Apply.
+//
+// # Caching and serving
+//
+// Cache fronts an Engine with a bounded, sharded LRU keyed by the
+// normalized query and the generation, so Apply implicitly invalidates
+// every cached result by publishing a new generation — no scanning, no
+// bookkeeping. Concurrent identical misses collapse into one search
+// (singleflight), and a hit is always byte-identical to an uncached search
+// of the same generation:
+//
+//	cache := kws.NewCache(engine, kws.CacheOptions{MaxBytes: 64 << 20})
+//	results, info, err := cache.SearchInfo(ctx, q) // info.Hit, info.Generation
+//
+// cmd/kwsd serves an Engine and its Cache over HTTP — single, batch and
+// NDJSON-streamed search, mutations, health and stats — with admission
+// control and latency metrics; see docs/http-api.md for the wire format
+// and ARCHITECTURE.md for how the layers fit together.
 package kws
 
 import (

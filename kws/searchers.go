@@ -55,6 +55,8 @@ func newPathsSearcher(c Components) (Searcher, error) {
 	return pathsSearcher{engine: e}, nil
 }
 
+// Stream implements Searcher by delegating to the paths engine's native
+// streaming enumeration.
 func (s pathsSearcher) Stream(ctx context.Context, q Query, yield func(Answer) bool) error {
 	opts := paths.Options{
 		MaxEdges:              q.MaxJoins,
@@ -80,6 +82,8 @@ func newMTJNTSearcher(c Components) (Searcher, error) {
 	return mtjntSearcher{comp: c, engine: e}, nil
 }
 
+// Stream implements Searcher: networks stream out of the minimal-total
+// filter and are annotated one by one.
 func (s mtjntSearcher) Stream(ctx context.Context, q Query, yield func(Answer) bool) error {
 	var annErr error
 	err := s.engine.Stream(ctx, q.Keywords, mtjnt.Options{MaxEdges: q.MaxJoins}, func(n mtjnt.Network) bool {
@@ -112,6 +116,8 @@ func newBANKSSearcher(c Components) (Searcher, error) {
 	return banksSearcher{comp: c, engine: e}, nil
 }
 
+// Stream implements Searcher: trees are collected by the backward
+// expansion, filtered to path shapes and annotated as they emerge.
 func (s banksSearcher) Stream(ctx context.Context, q Query, yield func(Answer) bool) error {
 	opts := banks.Options{MaxDepth: q.MaxJoins, MaxResults: banksRawCap, Parallelism: q.Parallelism}
 	var annErr error
