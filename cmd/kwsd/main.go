@@ -39,9 +39,9 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
-		database    = flag.String("db", "paper", `database to serve: "paper" or "synthetic"`)
-		scale       = flag.Int("scale", 2, "scale factor for the synthetic database")
-		seed        = flag.Int64("seed", 1, "seed for the synthetic database")
+		database    = flag.String("db", "paper", `database to serve: "paper", "synthetic", "logs" or "docs"`)
+		scale       = flag.Int("scale", 2, "scale factor for the synthetic databases")
+		seed        = flag.Int64("seed", 1, "seed for the synthetic databases")
 		parallelism = flag.Int("parallelism", 0, "engine parallelism (0 = GOMAXPROCS)")
 		maxInFlight = flag.Int("max-inflight", 64, "max concurrently executing searches; beyond it requests are shed with 429")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request execution budget")
@@ -74,8 +74,12 @@ func buildEngine(database string, scale int, seed int64, parallelism int) (*kws.
 		labeler = paperdb.DisplayLabel
 	case "synthetic":
 		db = kws.SyntheticCompany(scale, seed)
+	case "logs":
+		db = kws.SyntheticLogs(scale, seed)
+	case "docs":
+		db = kws.SyntheticDocs(scale, seed)
 	default:
-		return nil, fmt.Errorf("unknown database %q (use paper or synthetic)", database)
+		return nil, fmt.Errorf("unknown database %q (use paper, synthetic, logs or docs)", database)
 	}
 	opts := []kws.Option{kws.WithParallelism(parallelism)}
 	if labeler != nil {

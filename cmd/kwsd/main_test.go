@@ -19,8 +19,15 @@ func TestBuildEngine(t *testing.T) {
 	if rels, tuples, _ := e.Stats(); rels == 0 || tuples == 0 {
 		t.Errorf("paper engine empty: %d relations, %d tuples", rels, tuples)
 	}
-	if _, err := buildEngine("synthetic", 1, 7, 1); err != nil {
-		t.Errorf("synthetic: %v", err)
+	for _, db := range []string{"synthetic", "logs", "docs"} {
+		e, err := buildEngine(db, 1, 7, 1)
+		if err != nil {
+			t.Errorf("%s: %v", db, err)
+			continue
+		}
+		if _, tuples, _ := e.Stats(); tuples == 0 {
+			t.Errorf("%s engine empty", db)
+		}
 	}
 	if _, err := buildEngine("bogus", 1, 1, 1); err == nil {
 		t.Error("unknown database should fail")

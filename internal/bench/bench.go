@@ -1,0 +1,237 @@
+// Package bench is the load-generation and scenario harness behind
+// cmd/kws-bench: it drives sustained concurrent keyword-search load against
+// either an in-process kws.Engine or a remote kwsd over the /v1 wire format,
+// and reduces each run to a machine-readable report (BENCH_*.json) so the
+// performance trajectory across PRs is diffable and guarded in CI.
+//
+// The pieces mirror a perfkit-style layout:
+//
+//   - Scenario: a named workload — how to build its dataset, its seeded
+//     query stream, and (optionally) its mutation stream. Scenarios are
+//     deterministic: the same seed yields the same dataset and the same
+//     per-worker operation sequence.
+//   - The suite registry (Register/Build/Names) holds the built-in suites —
+//     bibliography, scale-n, logs-search, json-docs — and any extensions.
+//   - Target: where the load goes — NewEngineTarget runs everything in
+//     process through a kws.Cache; NewRemoteTarget speaks the kwsd wire
+//     format, counting 429 sheds separately from errors.
+//   - Profile + Run: worker pools (closed-loop concurrency or open-loop
+//     arrival rates), a warmup phase, and a measured phase whose latencies
+//     land in an internal/metrics histogram.
+//   - Report: the JSON envelope (host metadata, config echo, one result row
+//     per suite×mode) written by cmd/kws-bench and committed per PR.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/kws"
+)
+
+// Mode selects what each measured operation does.
+type Mode string
+
+const (
+	// ModeRead issues single cached searches.
+	ModeRead Mode = "read"
+	// ModeMixed interleaves mutations into the read stream (every
+	// Profile.MutateEvery-th operation applies the scenario's next
+	// mutation batch).
+	ModeMixed Mode = "mixed"
+	// ModeBatch issues Profile.BatchSize queries per operation through the
+	// batch path.
+	ModeBatch Mode = "batch"
+	// ModeStream consumes one query per operation through the streaming
+	// path (unranked, cache-bypassing).
+	ModeStream Mode = "stream"
+)
+
+// Modes lists every mode in report order.
+func Modes() []Mode { return []Mode{ModeRead, ModeMixed, ModeBatch, ModeStream} }
+
+// ParseMode validates a mode name.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range Modes() {
+		if string(m) == s {
+			return m, nil
+		}
+	}
+	return "", fmt.Errorf("bench: unknown mode %q (use read, mixed, batch or stream)", s)
+}
+
+// Scenario is one named workload. Query and mutation streams are functions
+// of a seed so every worker can own an independent, reproducible stream.
+type Scenario struct {
+	// Name identifies the suite in reports and on the command line.
+	Name string
+	// Description is a one-line summary for -list output.
+	Description string
+	// ServerDB is the kwsd -db flag value that serves this scenario's
+	// dataset, so remote runs can be pointed at a matching server.
+	ServerDB string
+	// Scale echoes the scale factor the dataset was built at (0 = fixed).
+	Scale int
+	// Open builds a fresh copy of the dataset with its display labeler
+	// (nil labeler = default). Used by in-process targets; remote targets
+	// assume the server already serves the same dataset.
+	Open func() (*kws.Database, kws.Labeler, error)
+	// Queries returns an endless seeded query stream. Streams with the
+	// same seed yield the same sequence.
+	Queries func(seed int64) func() kws.Query
+	// Mutations returns an endless seeded mutation stream (wire-form op
+	// batches, each applied atomically), or nil for a read-only scenario.
+	// Batches must be safe to replay against a live server: the built-in
+	// scenarios insert and delete the same synthetic row in one batch, so
+	// they churn a generation without growing the dataset.
+	Mutations func(seed int64) func() []httpapi.Op
+}
+
+// Profile shapes a run: pool size, pacing, phase lengths and mode knobs.
+type Profile struct {
+	// Name identifies the profile in reports ("smoke", "standard", ...).
+	Name string
+	// WarmupOps is the number of unmeasured operations each worker runs
+	// before the clock starts (cache fill, searcher construction).
+	WarmupOps int
+	// MeasureOps is the total number of measured operations (0 = run for
+	// Duration instead). Op-count runs are deterministic end to end.
+	MeasureOps int
+	// Duration is the measured wall budget when MeasureOps is 0.
+	Duration time.Duration
+	// Workers is the worker-pool size: closed-loop concurrency, or the
+	// service pool behind an open-loop arrival process.
+	Workers int
+	// RatePerSec switches to open-loop load: operations arrive at this
+	// rate regardless of completions, and arrivals that find the pool
+	// saturated are dropped and counted (0 = closed loop).
+	RatePerSec float64
+	// BatchSize is the number of queries per operation in ModeBatch.
+	BatchSize int
+	// MutateEvery applies one mutation batch per this many operations in
+	// ModeMixed.
+	MutateEvery int
+	// Seed drives dataset generation and every operation stream.
+	Seed int64
+}
+
+// SmokeProfile is the short deterministic profile CI runs on every suite:
+// a fixed operation count so reports are comparable run to run.
+func SmokeProfile() Profile {
+	return Profile{
+		Name:        "smoke",
+		WarmupOps:   4,
+		MeasureOps:  48,
+		Workers:     4,
+		BatchSize:   4,
+		MutateEvery: 8,
+		Seed:        1,
+	}
+}
+
+// StandardProfile is the longer wall-clock profile for local trend
+// measurements.
+func StandardProfile() Profile {
+	return Profile{
+		Name:        "standard",
+		WarmupOps:   32,
+		Duration:    10 * time.Second,
+		Workers:     8,
+		BatchSize:   8,
+		MutateEvery: 10,
+		Seed:        1,
+	}
+}
+
+// ProfileByName resolves the built-in profiles.
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case "smoke":
+		return SmokeProfile(), nil
+	case "standard":
+		return StandardProfile(), nil
+	default:
+		return Profile{}, fmt.Errorf("bench: unknown profile %q (use smoke or standard)", name)
+	}
+}
+
+// SuiteOptions parameterize suite construction.
+type SuiteOptions struct {
+	// Scale sizes the synthetic datasets (scale-n, logs-search,
+	// json-docs); zero means 2.
+	Scale int
+	// Seed drives dataset generation; zero means 1.
+	Seed int64
+}
+
+// WithDefaults fills unset fields with the standard suite parameters.
+func (o SuiteOptions) WithDefaults() SuiteOptions {
+	if o.Scale <= 0 {
+		o.Scale = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// The suite registry. Builders run per Build call so each scenario owns a
+// fresh dataset closure.
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]func(SuiteOptions) Scenario)
+)
+
+// Register adds a suite builder under its name; registering a duplicate
+// name fails so suites cannot be silently replaced.
+func Register(name string, build func(SuiteOptions) Scenario) error {
+	if name == "" || build == nil {
+		return fmt.Errorf("bench: suite needs a name and a builder")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("bench: suite %q already registered", name)
+	}
+	registry[name] = build
+	return nil
+}
+
+// Names lists the registered suites in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Build constructs the named suite for the options.
+func Build(name string, opts SuiteOptions) (Scenario, error) {
+	registryMu.RLock()
+	build, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return Scenario{}, fmt.Errorf("bench: unknown suite %q (registered: %v)", name, Names())
+	}
+	return build(opts.WithDefaults()), nil
+}
+
+// BuildAll constructs every registered suite in name order.
+func BuildAll(opts SuiteOptions) []Scenario {
+	out := make([]Scenario, 0)
+	for _, name := range Names() {
+		sc, err := Build(name, opts)
+		if err != nil {
+			continue // unreachable: Names and Build share the registry
+		}
+		out = append(out, sc)
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/kws"
+)
+
+func TestRegistryHasBuiltinSuites(t *testing.T) {
+	want := []string{"bibliography", "json-docs", "logs-search", "scale-n"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		sc, err := Build(name, SuiteOptions{})
+		if err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+		if sc.Name != name || sc.Open == nil || sc.Queries == nil || sc.ServerDB == "" {
+			t.Errorf("suite %q incomplete: %+v", name, sc)
+		}
+		if sc.Mutations == nil {
+			t.Errorf("suite %q has no mutation stream; mixed mode needs one", name)
+		}
+	}
+	if len(BuildAll(SuiteOptions{})) != len(want) {
+		t.Error("BuildAll did not build every registered suite")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	if err := Register("bibliography", func(SuiteOptions) Scenario { return Scenario{} }); err == nil {
+		t.Fatal("duplicate registration did not fail")
+	}
+	if err := Register("", nil); err == nil {
+		t.Fatal("empty registration did not fail")
+	}
+	if _, err := Build("no-such-suite", SuiteOptions{}); err == nil {
+		t.Fatal("unknown suite did not fail")
+	}
+}
+
+func TestProfilesResolve(t *testing.T) {
+	for _, name := range []string{"smoke", "standard"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatalf("ProfileByName(%q): %v", name, err)
+		}
+		if p.Name != name || p.Workers < 1 {
+			t.Errorf("profile %q incomplete: %+v", name, p)
+		}
+		if p.MeasureOps <= 0 && p.Duration <= 0 {
+			t.Errorf("profile %q has neither op count nor duration", name)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile did not fail")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, m := range Modes() {
+		got, err := ParseMode(string(m))
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %q, %v", m, got, err)
+		}
+	}
+	if _, err := ParseMode("write-only"); err == nil {
+		t.Fatal("unknown mode did not fail")
+	}
+}
+
+// drawQueries pulls n queries from a fresh stream of the scenario.
+func drawQueries(sc Scenario, seed int64, n int) []kws.Query {
+	next := sc.Queries(seed)
+	out := make([]kws.Query, n)
+	for i := range out {
+		out[i] = next()
+	}
+	return out
+}
+
+// TestQueryStreamsDeterministic pins the load-generation contract: the same
+// seed always yields the same operation sequence, different seeds diverge,
+// and two streams never share hidden state.
+func TestQueryStreamsDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		sc, err := Build(name, SuiteOptions{Scale: 1, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := drawQueries(sc, 11, 40)
+		b := drawQueries(sc, 11, 40)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("suite %q: same seed produced different query streams", name)
+		}
+		c := drawQueries(sc, 12, 40)
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("suite %q: different seeds produced identical query streams", name)
+		}
+		// Interleaved draws must match sequential draws (no shared state).
+		s1, s2 := sc.Queries(11), sc.Queries(11)
+		for i := 0; i < 40; i++ {
+			q1, q2 := s1(), s2()
+			if !reflect.DeepEqual(q1, a[i]) || !reflect.DeepEqual(q2, a[i]) {
+				t.Errorf("suite %q: interleaved streams diverged at %d", name, i)
+				break
+			}
+		}
+	}
+}
+
+// TestMutationStreamsDistinctAcrossWorkers pins that two workers' mutation
+// batches never collide on primary keys.
+func TestMutationStreamsDistinctAcrossWorkers(t *testing.T) {
+	sc, err := Build("scale-n", SuiteOptions{Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for w := 0; w < 4; w++ {
+		next := sc.Mutations(workerSeed(1, w))
+		for i := 0; i < 8; i++ {
+			ops := next()
+			if len(ops) != 2 || ops[0].Op != "insert" || ops[1].Op != "delete" {
+				t.Fatalf("mutation batch shape = %+v, want insert+delete pair", ops)
+			}
+			key := ops[0].Row["SSN"].(string)
+			if seen[key] {
+				t.Fatalf("mutation key %q repeated across workers", key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+// TestSuitesOpenAndAnswer builds every suite's dataset in process and
+// checks its query stream actually finds answers — a suite whose queries
+// never match would "benchmark" empty searches.
+func TestSuitesOpenAndAnswer(t *testing.T) {
+	for _, name := range Names() {
+		sc, err := Build(name, SuiteOptions{Scale: 1, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		target, err := NewEngineTarget(sc)
+		if err != nil {
+			t.Fatalf("suite %q: %v", name, err)
+		}
+		next := sc.Queries(1)
+		found := false
+		for i := 0; i < 32 && !found; i++ {
+			q := next()
+			results, err := target.Engine().Search(t.Context(), q)
+			if err != nil {
+				t.Fatalf("suite %q query %v: %v", name, q.Keywords, err)
+			}
+			found = len(results) > 0
+		}
+		if !found {
+			t.Errorf("suite %q: no query of the first 32 found any answer", name)
+		}
+	}
+}

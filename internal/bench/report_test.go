@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleResult(suite, mode string) SuiteResult {
+	return SuiteResult{
+		Suite:           suite,
+		Mode:            mode,
+		Target:          "inproc",
+		Ops:             100,
+		QueriesPerOp:    1,
+		DurationSeconds: 0.5,
+		QPS:             200,
+		LatencyUS:       Latency{Mean: 50, P50: 40, P95: 90, P99: 120},
+		CacheHitRate:    0.75,
+	}
+}
+
+func sampleReport(results ...SuiteResult) Report {
+	return NewReport(ConfigEcho{Profile: "smoke", Target: "inproc"}, results)
+}
+
+func TestNewReportSortsRows(t *testing.T) {
+	r := sampleReport(
+		sampleResult("scale-n", "read"),
+		sampleResult("bibliography", "stream"),
+		sampleResult("bibliography", "read"),
+	)
+	got := make([]string, len(r.Suites))
+	for i, s := range r.Suites {
+		got[i] = s.Suite + "/" + s.Mode
+	}
+	want := "bibliography/read bibliography/stream scale-n/read"
+	if strings.Join(got, " ") != want {
+		t.Fatalf("rows = %v, want %s", got, want)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport(sampleResult("bibliography", "read"))
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ReportSchema || back.Tool != "kws-bench" || len(back.Suites) != 1 {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+	if back.Suites[0] != r.Suites[0] {
+		t.Fatalf("suite row changed: %+v vs %+v", back.Suites[0], r.Suites[0])
+	}
+}
+
+// TestReportJSONSchemaStable pins the committed BENCH_*.json field names —
+// the cross-PR perf trajectory depends on them not drifting.
+func TestReportJSONSchemaStable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, sampleReport(sampleResult("bibliography", "read"))); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "tool", "host", "config", "suites"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("top-level key %q missing", key)
+		}
+	}
+	var suites []map[string]json.RawMessage
+	if err := json.Unmarshal(raw["suites"], &suites); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"suite", "mode", "target", "ops", "queries_per_op", "errors", "shed",
+		"dropped", "duration_seconds", "qps", "latency_us", "cache_hit_rate",
+		"cache_entries", "cache_bytes", "cache_evictions", "generation",
+		"generation_churn",
+	} {
+		if _, ok := suites[0][key]; !ok {
+			t.Errorf("suite key %q missing", key)
+		}
+	}
+}
+
+func TestReportValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mangle func(*Report)
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = 99 }},
+		{"wrong tool", func(r *Report) { r.Tool = "other" }},
+		{"no suites", func(r *Report) { r.Suites = nil }},
+		{"unnamed row", func(r *Report) { r.Suites[0].Suite = "" }},
+		{"zero ops", func(r *Report) { r.Suites[0].Ops = 0 }},
+		{"outcomes exceed ops", func(r *Report) { r.Suites[0].Errors = 200 }},
+		{"non-monotone quantiles", func(r *Report) { r.Suites[0].LatencyUS.P95 = 1 }},
+		{"hit rate out of range", func(r *Report) { r.Suites[0].CacheHitRate = 1.5 }},
+		{"duplicate rows", func(r *Report) {
+			r.Suites = append(r.Suites, r.Suites[0])
+		}},
+	}
+	for _, tc := range cases {
+		r := sampleReport(sampleResult("bibliography", "read"))
+		tc.mangle(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken report", tc.name)
+		}
+		if err := WriteReport(&bytes.Buffer{}, r); err == nil {
+			t.Errorf("%s: WriteReport accepted a broken report", tc.name)
+		}
+	}
+}
+
+func TestReadReportRejectsMalformed(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Unknown fields mean a schema drift between writer and checker.
+	if _, err := ReadReport(strings.NewReader(`{"schema":1,"tool":"kws-bench","mystery":true}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestTotalErrors(t *testing.T) {
+	a := sampleResult("bibliography", "read")
+	a.Errors = 2
+	b := sampleResult("scale-n", "read")
+	b.Errors = 3
+	if got := sampleReport(a, b).TotalErrors(); got != 5 {
+		t.Fatalf("TotalErrors = %d, want 5", got)
+	}
+}

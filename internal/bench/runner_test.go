@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/kws"
+)
+
+func testProfile() Profile {
+	return Profile{
+		Name:        "test",
+		WarmupOps:   2,
+		MeasureOps:  24,
+		Workers:     3,
+		BatchSize:   2,
+		MutateEvery: 4,
+		Seed:        1,
+	}
+}
+
+func buildSuite(t *testing.T, name string) Scenario {
+	t.Helper()
+	sc, err := Build(name, SuiteOptions{Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func engineTarget(t *testing.T, sc Scenario) *EngineTarget {
+	t.Helper()
+	target, err := NewEngineTarget(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { target.Close() })
+	return target
+}
+
+func checkResult(t *testing.T, res SuiteResult, sc Scenario, mode Mode, p Profile) {
+	t.Helper()
+	if res.Suite != sc.Name || res.Mode != string(mode) {
+		t.Errorf("result labeled %s/%s, want %s/%s", res.Suite, res.Mode, sc.Name, mode)
+	}
+	if res.Ops != int64(p.MeasureOps) {
+		t.Errorf("mode %s: ops = %d, want %d", mode, res.Ops, p.MeasureOps)
+	}
+	if res.Errors != 0 {
+		t.Errorf("mode %s: %d errors", mode, res.Errors)
+	}
+	if res.DurationSeconds <= 0 || res.QPS <= 0 {
+		t.Errorf("mode %s: non-positive throughput: %+v", mode, res)
+	}
+	l := res.LatencyUS
+	if l.P50 <= 0 || l.P50 > l.P95 || l.P95 > l.P99 {
+		t.Errorf("mode %s: bad latency summary %+v", mode, l)
+	}
+	wantPer := 1
+	if mode == ModeBatch {
+		wantPer = p.BatchSize
+	}
+	if res.QueriesPerOp != wantPer {
+		t.Errorf("mode %s: queries_per_op = %d, want %d", mode, res.QueriesPerOp, wantPer)
+	}
+}
+
+// TestRunInProcessAllModes drives the bibliography suite through every mode
+// against an in-process engine — the harness end to end without HTTP.
+func TestRunInProcessAllModes(t *testing.T) {
+	sc := buildSuite(t, "bibliography")
+	p := testProfile()
+	for _, mode := range Modes() {
+		target := engineTarget(t, sc)
+		res, err := Run(t.Context(), target, sc, mode, p)
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		checkResult(t, res, sc, mode, p)
+		switch mode {
+		case ModeRead:
+			// A 3-worker closed loop over a tiny query vocabulary revisits
+			// queries, so the cache must land hits during the measured phase.
+			if res.CacheHitRate <= 0 {
+				t.Errorf("read mode: cache hit rate = %g, want > 0", res.CacheHitRate)
+			}
+			if res.GenerationChurn != 0 {
+				t.Errorf("read mode: generation churn = %d, want 0", res.GenerationChurn)
+			}
+		case ModeMixed:
+			// Every MutateEvery-th op publishes a generation.
+			if res.GenerationChurn == 0 {
+				t.Error("mixed mode: no generation churn")
+			}
+		}
+	}
+}
+
+// TestRunDurationBased exercises the deadline-driven phase: no op budget,
+// just wall time.
+func TestRunDurationBased(t *testing.T) {
+	sc := buildSuite(t, "bibliography")
+	p := testProfile()
+	p.MeasureOps = 0
+	p.Duration = 150 * time.Millisecond
+	res, err := Run(t.Context(), engineTarget(t, sc), sc, ModeRead, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("duration-based run measured no operations")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("duration-based run had %d errors", res.Errors)
+	}
+}
+
+// TestRunOpenLoop exercises the rate-driven arrival process. The rate is
+// modest against an in-process engine, so nothing should be dropped.
+func TestRunOpenLoop(t *testing.T) {
+	sc := buildSuite(t, "bibliography")
+	p := testProfile()
+	p.RatePerSec = 2000
+	p.MeasureOps = 40
+	res, err := Run(t.Context(), engineTarget(t, sc), sc, ModeRead, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops+res.Dropped != 40 {
+		t.Fatalf("ops %d + dropped %d != dispatched 40", res.Ops, res.Dropped)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("open-loop run had %d errors", res.Errors)
+	}
+}
+
+// TestRunDeterministicOps pins run-level determinism: two closed-loop runs
+// with one worker and the same seed issue the identical operation sequence,
+// so the result cache turns the second run into pure hits.
+func TestRunDeterministicOps(t *testing.T) {
+	sc := buildSuite(t, "scale-n")
+	p := testProfile()
+	p.Workers = 1
+	target := engineTarget(t, sc)
+	if _, err := Run(t.Context(), target, sc, ModeRead, p); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(t.Context(), target, sc, ModeRead, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHitRate != 1 {
+		t.Fatalf("replayed run hit rate = %g, want 1 (sequence not deterministic?)", res.CacheHitRate)
+	}
+}
+
+func TestRunValidatesInputs(t *testing.T) {
+	sc := buildSuite(t, "bibliography")
+	target := engineTarget(t, sc)
+	p := testProfile()
+
+	noQueries := sc
+	noQueries.Queries = nil
+	if _, err := Run(t.Context(), target, noQueries, ModeRead, p); err == nil {
+		t.Error("scenario without queries did not fail")
+	}
+	readOnly := sc
+	readOnly.Mutations = nil
+	if _, err := Run(t.Context(), target, readOnly, ModeMixed, p); err == nil {
+		t.Error("mixed mode without mutations did not fail")
+	}
+	noBatch := p
+	noBatch.BatchSize = 0
+	if _, err := Run(t.Context(), target, sc, ModeBatch, noBatch); err == nil {
+		t.Error("batch mode without batch size did not fail")
+	}
+	unbounded := p
+	unbounded.MeasureOps, unbounded.Duration = 0, 0
+	if _, err := Run(t.Context(), target, sc, ModeRead, unbounded); err == nil {
+		t.Error("profile without op budget or duration did not fail")
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	sc := buildSuite(t, "bibliography")
+	target := engineTarget(t, sc)
+	ctx, cancel := context.WithCancel(t.Context())
+	cancel()
+	if _, err := Run(ctx, target, sc, ModeRead, testProfile()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// remoteHarness boots a real httpapi server over the scenario's dataset and
+// points a RemoteTarget at it.
+func remoteHarness(t *testing.T, sc Scenario, opts httpapi.Options) *RemoteTarget {
+	t.Helper()
+	db, labeler, err := sc.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var engineOpts []kws.Option
+	if labeler != nil {
+		engineOpts = append(engineOpts, kws.WithLabeler(labeler))
+	}
+	engine, err := kws.New(db, engineOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(httpapi.New(engine, opts).Handler())
+	t.Cleanup(srv.Close)
+	target := NewRemoteTarget(srv.URL)
+	t.Cleanup(func() { target.Close() })
+	return target
+}
+
+// TestRunRemoteAllModes drives every mode against a live httpapi server —
+// the same wire path kwsd serves.
+func TestRunRemoteAllModes(t *testing.T) {
+	sc := buildSuite(t, "bibliography")
+	target := remoteHarness(t, sc, httpapi.Options{})
+	p := testProfile()
+	for _, mode := range Modes() {
+		res, err := Run(t.Context(), target, sc, mode, p)
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		checkResult(t, res, sc, mode, p)
+		if res.Target != "remote" {
+			t.Fatalf("mode %s: target = %q, want remote", mode, res.Target)
+		}
+		if mode == ModeMixed && res.GenerationChurn == 0 {
+			t.Error("mixed mode over the wire: no generation churn")
+		}
+	}
+}
+
+// TestRemoteShedMapsToErrShed pins the 429 contract: a saturated server's
+// refusals count as sheds, not errors.
+func TestRemoteShedMapsToErrShed(t *testing.T) {
+	sc := buildSuite(t, "scale-n")
+	// MaxInFlight 1 with several aggressive workers guarantees collisions.
+	target := remoteHarness(t, sc, httpapi.Options{MaxInFlight: 1})
+	p := testProfile()
+	p.Workers = 6
+	p.MeasureOps = 120
+	p.WarmupOps = 0
+	res, err := Run(t.Context(), target, sc, ModeRead, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("sheds misclassified: %d errors", res.Errors)
+	}
+	if res.Shed == 0 {
+		t.Skip("no contention materialised; nothing to assert")
+	}
+}

@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/httpapi"
+	"repro/internal/workload"
+	"repro/kws"
+)
+
+// The built-in suites. Each registers a builder so cmd/kws-bench (and
+// tests) construct fresh scenarios per run; dataset and streams derive
+// entirely from SuiteOptions, keeping runs reproducible.
+func init() {
+	for name, build := range map[string]func(SuiteOptions) Scenario{
+		"bibliography": bibliographySuite,
+		"scale-n":      scaleNSuite,
+		"logs-search":  logsSearchSuite,
+		"json-docs":    jsonDocsSuite,
+	} {
+		if err := Register(name, build); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// queryDefaults bounds every generated query the same way, so suites are
+// comparable: a modest join budget and a capped result set.
+func queryDefaults(q *kws.Query) {
+	q.MaxJoins = 3
+	q.TopK = 10
+}
+
+// vocabProbe lazily builds the scenario's dataset once and reports which
+// candidate keywords actually match tuples there. The engine treats an
+// unmatched keyword as a hard error (RequireAllKeywords), and the generated
+// vocabularies are not guaranteed to be fully realised at small scales — so
+// every suite filters its query vocabulary through a probe before issuing
+// load. The probe's dataset is a throwaway twin of the one the target
+// serves: both derive deterministically from the same SuiteOptions, so the
+// filter is exact for in-process and remote targets alike.
+type vocabProbe struct {
+	open   func() (*kws.Database, kws.Labeler, error)
+	once   sync.Once
+	engine *kws.Engine
+	err    error
+}
+
+func (p *vocabProbe) init() {
+	p.once.Do(func() {
+		db, _, err := p.open()
+		if err != nil {
+			p.err = err
+			return
+		}
+		p.engine, p.err = kws.New(db)
+	})
+}
+
+// matches reports whether every keyword of the query occurs in the dataset.
+func (p *vocabProbe) matches(keywords []string) bool {
+	p.init()
+	if p.err != nil {
+		return true // fail open: let the engine report the real error
+	}
+	for _, kw := range keywords {
+		if len(p.engine.Match(kw)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// presentTerms filters candidate terms to the ones occurring in the dataset.
+// It falls back to the unfiltered list if nothing survives, so a stream is
+// never left without a vocabulary.
+func (p *vocabProbe) presentTerms(terms []string) []string {
+	kept := terms[:0:0]
+	for _, t := range terms {
+		if p.matches([]string{t}) {
+			kept = append(kept, t)
+		}
+	}
+	if len(kept) == 0 {
+		return terms
+	}
+	return kept
+}
+
+// matchingQueries keeps only the generated queries all of whose keywords
+// occur in the dataset, falling back to the unfiltered list if none do.
+func (p *vocabProbe) matchingQueries(qs []workload.Query) []workload.Query {
+	kept := qs[:0:0]
+	for _, q := range qs {
+		if p.matches(q.Keywords) {
+			kept = append(kept, q)
+		}
+	}
+	if len(kept) == 0 {
+		return qs
+	}
+	return kept
+}
+
+// cycleQueries adapts a finite generated query list into the endless
+// per-worker stream the runner consumes. The list is drawn once per stream
+// from the seed, so equal seeds yield equal sequences.
+func cycleQueries(qs []workload.Query) func() kws.Query {
+	i := 0
+	return func() kws.Query {
+		q := kws.Query{Keywords: qs[i%len(qs)].Keywords}
+		queryDefaults(&q)
+		i++
+		return q
+	}
+}
+
+// churnMutations builds a mutation stream whose batches insert and then
+// delete one synthetic row atomically: each batch publishes a generation
+// (and invalidates the result cache) without growing the dataset, and
+// replaying it against a live server is always safe. Keys embed the stream
+// seed, so concurrent workers never collide.
+func churnMutations(table string, row func(key string) map[string]any, keyCol string) func(seed int64) func() []httpapi.Op {
+	return func(seed int64) func() []httpapi.Op {
+		n := 0
+		return func() []httpapi.Op {
+			n++
+			key := fmt.Sprintf("bench-%d-%d", seed, n)
+			return []httpapi.Op{
+				{Op: "insert", Table: table, Row: row(key)},
+				{Op: "delete", Table: table, Key: map[string]any{keyCol: key}},
+			}
+		}
+	}
+}
+
+// bibliographySuite serves the paper's running example (the paperdb company
+// database of Figure 2) — tiny, but it pins the per-query constant factors
+// and exercises the display-label path.
+func bibliographySuite(opts SuiteOptions) Scenario {
+	open := func() (*kws.Database, kws.Labeler, error) {
+		return kws.PaperExample(), kws.PaperLabeler(), nil
+	}
+	probe := &vocabProbe{open: open}
+	return Scenario{
+		Name:        "bibliography",
+		Description: "paper running example (paperdb): tiny dataset, constant-factor probe",
+		ServerDB:    "paper",
+		Open:        open,
+		Queries: func(seed int64) func() kws.Query {
+			// The paper's own keyword vocabulary: every query has the
+			// "Smith XML" shape of the running example.
+			people := probe.presentTerms([]string{"Smith", "Alice", "Melina", "Theodore", "Barbara", "John"})
+			topics := probe.presentTerms([]string{"XML", "databases", "history", "programming", "teaching"})
+			rng := rand.New(rand.NewSource(seed))
+			return func() kws.Query {
+				q := kws.Query{Keywords: []string{
+					people[rng.Intn(len(people))],
+					topics[rng.Intn(len(topics))],
+				}}
+				queryDefaults(&q)
+				return q
+			}
+		},
+		Mutations: churnMutations("EMPLOYEE", func(key string) map[string]any {
+			return map[string]any{"SSN": key, "L_NAME": "Bench", "S_NAME": "Load", "D_ID": "d1"}
+		}, "SSN"),
+	}
+}
+
+// scaleNSuite serves the scaled synthetic company workload the scale-out
+// experiments use.
+func scaleNSuite(opts SuiteOptions) Scenario {
+	open := func() (*kws.Database, kws.Labeler, error) {
+		return kws.SyntheticCompany(opts.Scale, opts.Seed), nil, nil
+	}
+	probe := &vocabProbe{open: open}
+	return Scenario{
+		Name:        "scale-n",
+		Description: "scaled synthetic company database (internal/workload), paper schema",
+		ServerDB:    "synthetic",
+		Scale:       opts.Scale,
+		Open:        open,
+		Queries: func(seed int64) func() kws.Query {
+			return cycleQueries(probe.matchingQueries(workload.Queries(256, seed)))
+		},
+		Mutations: churnMutations("EMPLOYEE", func(key string) map[string]any {
+			return map[string]any{"SSN": key, "L_NAME": "Bench", "S_NAME": "Load", "D_ID": "d1"}
+		}, "SSN"),
+	}
+}
+
+// logsSearchSuite serves the timestamped log-event workload: functional
+// joins to services and hosts, an incident N:M, and a high-cardinality term
+// space (every event mints a unique trace token).
+func logsSearchSuite(opts SuiteOptions) Scenario {
+	open := func() (*kws.Database, kws.Labeler, error) {
+		return kws.SyntheticLogs(opts.Scale, opts.Seed), nil, nil
+	}
+	probe := &vocabProbe{open: open}
+	return Scenario{
+		Name:        "logs-search",
+		Description: "timestamped log events, high-cardinality trace terms, incident N:M",
+		ServerDB:    "logs",
+		Scale:       opts.Scale,
+		Open:        open,
+		Queries: func(seed int64) func() kws.Query {
+			return cycleQueries(probe.matchingQueries(workload.LogQueries(256, seed)))
+		},
+		Mutations: churnMutations("LOG_EVENT", func(key string) map[string]any {
+			return map[string]any{
+				"ID": key, "SERVICE_ID": "s1", "HOST_ID": "h1",
+				"TS": "2026-01-01T00:00:00Z", "SEVERITY": "info",
+				"MESSAGE": "bench churn event " + key,
+			}
+		}, "ID"),
+	}
+}
+
+// jsonDocsSuite serves the flattened JSON-document workload: dotted
+// nested-field labels, per-document field fan-out and a tag N:M.
+func jsonDocsSuite(opts SuiteOptions) Scenario {
+	open := func() (*kws.Database, kws.Labeler, error) {
+		return kws.SyntheticDocs(opts.Scale, opts.Seed), nil, nil
+	}
+	probe := &vocabProbe{open: open}
+	return Scenario{
+		Name:        "json-docs",
+		Description: "flattened JSON documents, nested-field path labels, tag N:M",
+		ServerDB:    "docs",
+		Scale:       opts.Scale,
+		Open:        open,
+		Queries: func(seed int64) func() kws.Query {
+			return cycleQueries(probe.matchingQueries(workload.DocQueries(256, seed)))
+		},
+		Mutations: churnMutations("DOCUMENT", func(key string) map[string]any {
+			return map[string]any{
+				"ID": key, "COLLECTION_ID": "c1",
+				"TITLE": "bench churn document", "SUMMARY": "bench churn " + key,
+			}
+		}, "ID"),
+	}
+}

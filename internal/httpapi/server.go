@@ -34,6 +34,9 @@ const (
 	defaultMaxInFlight = 64
 	defaultTimeout     = 10 * time.Second
 	maxBodyBytes       = 4 << 20
+	// retryAfterSeconds is the backoff hint attached to shed (429)
+	// responses; sheds answer instantly, so one second is plenty.
+	retryAfterSeconds = "1"
 )
 
 // Server serves one kws.Engine over HTTP, fronting reads with a
@@ -107,6 +110,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.sem }()
 	default:
 		s.shed.Inc()
+		// Load generators and well-behaved clients key their backoff off
+		// Retry-After; sheds are instant, so a short hint suffices.
+		w.Header().Set("Retry-After", retryAfterSeconds)
 		s.writeError(w, http.StatusTooManyRequests, "server at max in-flight searches, retry later")
 		return
 	}
@@ -286,9 +292,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	relations, tuples, edges := s.engine.Stats()
 	cs := s.cache.Stats()
-	_, histograms := s.reg.Snapshot()
-	latency := make(map[string]Quant, len(histograms))
-	for name, h := range histograms {
+	snap := s.reg.Snapshot()
+	latency := make(map[string]Quant, len(snap.Histograms))
+	for name, h := range snap.Histograms {
 		const prefix = "search_seconds_"
 		if len(name) > len(prefix) && name[:len(prefix)] == prefix {
 			latency[name[len(prefix):]] = Quant{
@@ -296,9 +302,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 				MeanMS: h.Mean * 1000,
 				P50MS:  h.P50 * 1000,
 				P90MS:  h.P90 * 1000,
+				P95MS:  h.P95 * 1000,
 				P99MS:  h.P99 * 1000,
 			}
 		}
+	}
+	searches, shed := snap.Counters["searches"], snap.Counters["shed"]
+	shedRate := 0.0
+	if searches+shed > 0 {
+		shedRate = float64(shed) / float64(searches+shed)
 	}
 	s.writeJSON(w, http.StatusOK, StatsResponse{
 		Generation: s.engine.Generation(),
@@ -320,6 +332,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Mutations:   s.mutations.Value(),
 			Errors:      s.errs.Value(),
 			Shed:        s.shed.Value(),
+			ShedRate:    shedRate,
 			InFlight:    len(s.sem),
 			MaxInFlight: cap(s.sem),
 		},

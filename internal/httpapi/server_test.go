@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -52,6 +53,28 @@ func decode[T any](t *testing.T, resp *http.Response) T {
 }
 
 var smithXML = QueryRequest{Keywords: []string{"Smith", "XML"}, MaxJoins: 3}
+
+// TestFromQueryRoundTrips pins FromQuery as the inverse of ToQuery for every
+// wire-representable field, so remote clients built on it (kws-bench) send
+// exactly the query they were handed.
+func TestFromQueryRoundTrips(t *testing.T) {
+	q := kws.Query{
+		Keywords:        []string{"Smith", "XML"},
+		Engine:          kws.EngineBANKS,
+		Ranking:         kws.RankERLength,
+		MaxJoins:        4,
+		TopK:            7,
+		InstanceChecks:  kws.ToggleOff,
+		LoosenessLambda: 2.5,
+	}
+	if got := FromQuery(q).ToQuery(); !reflect.DeepEqual(got, q) {
+		t.Fatalf("FromQuery/ToQuery round trip = %+v, want %+v", got, q)
+	}
+	// The default toggle stays a nil pointer on the wire.
+	if req := FromQuery(kws.Query{Keywords: []string{"a"}}); req.InstanceChecks != nil {
+		t.Error("default InstanceChecks toggle minted a wire value")
+	}
+}
 
 func TestSearchSingleMatchesEngineAndCaches(t *testing.T) {
 	_, ts, engine := newTestServer(t, Options{})
@@ -318,6 +341,13 @@ func TestAdmissionControlSheds(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", resp.StatusCode)
 	}
+	// Shed responses must carry a backoff hint: load generators and real
+	// clients key their retry delay off Retry-After.
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 shed response lacks a Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer of seconds", ra)
+	}
 	resp.Body.Close()
 
 	close(block.release)
@@ -330,6 +360,9 @@ func TestAdmissionControlSheds(t *testing.T) {
 	stats := decode[StatsResponse](t, mustGet(t, ts.URL+"/v1/stats"))
 	if stats.Server.Shed != 1 {
 		t.Errorf("shed = %d, want 1", stats.Server.Shed)
+	}
+	if stats.Server.ShedRate <= 0 || stats.Server.ShedRate >= 1 {
+		t.Errorf("shed_rate = %g, want within (0,1) after one shed and one success", stats.Server.ShedRate)
 	}
 }
 

@@ -56,6 +56,30 @@ func (q QueryRequest) ToQuery() kws.Query {
 	return out
 }
 
+// FromQuery converts an engine query to its wire form; it is the inverse of
+// ToQuery and lives here so clients (ksearch -remote, kws-bench) never
+// re-spell the field mapping. The Labeler and Parallelism fields have no
+// wire form: rendering and concurrency belong to the server.
+func FromQuery(q kws.Query) QueryRequest {
+	out := QueryRequest{
+		Keywords:        q.Keywords,
+		Engine:          string(q.Engine),
+		Ranking:         string(q.Ranking),
+		MaxJoins:        q.MaxJoins,
+		TopK:            q.TopK,
+		LoosenessLambda: q.LoosenessLambda,
+	}
+	switch q.InstanceChecks {
+	case kws.ToggleOn:
+		v := true
+		out.InstanceChecks = &v
+	case kws.ToggleOff:
+		v := false
+		out.InstanceChecks = &v
+	}
+	return out
+}
+
 // SearchRequest is the body of POST /v1/search: exactly one of Query
 // (single) or Queries (batch) must be set.
 type SearchRequest struct {
@@ -241,14 +265,17 @@ type CacheStats struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
-// ServerStats reports the admission-control counters.
+// ServerStats reports the admission-control counters. ShedRate is the
+// fraction of admission attempts that were shed with 429 (shed over
+// searches-plus-shed); load generators track it per run.
 type ServerStats struct {
-	Searches    int64 `json:"searches"`
-	Mutations   int64 `json:"mutations"`
-	Errors      int64 `json:"errors"`
-	Shed        int64 `json:"shed"`
-	InFlight    int   `json:"in_flight"`
-	MaxInFlight int   `json:"max_in_flight"`
+	Searches    int64   `json:"searches"`
+	Mutations   int64   `json:"mutations"`
+	Errors      int64   `json:"errors"`
+	Shed        int64   `json:"shed"`
+	ShedRate    float64 `json:"shed_rate"`
+	InFlight    int     `json:"in_flight"`
+	MaxInFlight int     `json:"max_in_flight"`
 }
 
 // Quant is a latency summary in milliseconds for one search engine kind.
@@ -257,6 +284,7 @@ type Quant struct {
 	MeanMS float64 `json:"mean_ms"`
 	P50MS  float64 `json:"p50_ms"`
 	P90MS  float64 `json:"p90_ms"`
+	P95MS  float64 `json:"p95_ms"`
 	P99MS  float64 `json:"p99_ms"`
 }
 

@@ -139,14 +139,17 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
-// HistogramSnapshot is a point-in-time summary of a histogram.
+// HistogramSnapshot is a point-in-time summary of a histogram. Its JSON
+// field names are a stable export schema shared by /v1/stats and the
+// kws-bench report writer — renaming one is a wire-format break.
 type HistogramSnapshot struct {
-	Count int64
-	Sum   float64
-	Mean  float64
-	P50   float64
-	P90   float64
-	P99   float64
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
 }
 
 // Snapshot summarises the histogram. The quantiles and the count are read
@@ -159,6 +162,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Mean:  h.Mean(),
 		P50:   h.Quantile(0.50),
 		P90:   h.Quantile(0.90),
+		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
 	}
 }
@@ -206,8 +210,16 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	return h
 }
 
+// Snapshot is a point-in-time export of a whole registry. It marshals to
+// stable JSON (instrument names as object keys), so a stats endpoint or a
+// benchmark report can embed it directly instead of hand-rolling maps.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
 // Snapshot captures every registered instrument by name.
-func (r *Registry) Snapshot() (counters map[string]int64, histograms map[string]HistogramSnapshot) {
+func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	cs := make(map[string]*Counter, len(r.counters))
 	for name, c := range r.counters {
@@ -218,13 +230,15 @@ func (r *Registry) Snapshot() (counters map[string]int64, histograms map[string]
 		hs[name] = h
 	}
 	r.mu.Unlock()
-	counters = make(map[string]int64, len(cs))
+	snap := Snapshot{
+		Counters:   make(map[string]int64, len(cs)),
+		Histograms: make(map[string]HistogramSnapshot, len(hs)),
+	}
 	for name, c := range cs {
-		counters[name] = c.Value()
+		snap.Counters[name] = c.Value()
 	}
-	histograms = make(map[string]HistogramSnapshot, len(hs))
 	for name, h := range hs {
-		histograms[name] = h.Snapshot()
+		snap.Histograms[name] = h.Snapshot()
 	}
-	return counters, histograms
+	return snap
 }

@@ -269,6 +269,22 @@ func SyntheticCompany(scale int, seed int64) *Database {
 	return &Database{db: workload.MustGenerate(workload.ScaledConfig(scale, seed))}
 }
 
+// SyntheticLogs generates a synthetic log-search database (services, hosts,
+// timestamped log events with high-cardinality trace tokens, incidents
+// attached through an N:M junction), sized by the scale factor and seeded
+// for reproducibility.
+func SyntheticLogs(scale int, seed int64) *Database {
+	return &Database{db: workload.MustGenerateLogs(workload.ScaledLogsConfig(scale, seed))}
+}
+
+// SyntheticDocs generates a synthetic document-search database (collections
+// of documents whose nested JSON fields are flattened into dotted-path rows,
+// tagged through an N:M junction), sized by the scale factor and seeded for
+// reproducibility.
+func SyntheticDocs(scale int, seed int64) *Database {
+	return &Database{db: workload.MustGenerateDocs(workload.ScaledDocsConfig(scale, seed))}
+}
+
 func parseColumnType(s string) (relation.Type, error) {
 	switch s {
 	case "string", "varchar", "":
