@@ -55,6 +55,14 @@ type SuiteResult struct {
 	// GenerationChurn is how many generations the run published.
 	Generation      uint64 `json:"generation"`
 	GenerationChurn uint64 `json:"generation_churn"`
+	// Memory gauges sampled from the bench process at the end of the
+	// measured phase (metrics.SampleMemStats). For in-process targets this
+	// is the engine's heap; for remote targets it only reflects the load
+	// generator. Zero in reports written before the fields existed.
+	MemHeapBytes      int64   `json:"mem_heap_bytes"`
+	MemHeapObjects    int64   `json:"mem_heap_objects"`
+	MemGCPauseTotalMS float64 `json:"mem_gc_pause_total_ms"`
+	MemNumGC          int64   `json:"mem_num_gc"`
 }
 
 // benchLatencyBounds are histogram bounds in seconds, finer than the
@@ -220,6 +228,10 @@ func Run(ctx context.Context, target Target, sc Scenario, mode Mode, p Profile) 
 		return SuiteResult{}, fmt.Errorf("bench: stats after run: %w", err)
 	}
 
+	memReg := metrics.NewRegistry()
+	metrics.SampleMemStats(memReg)
+	mem := memReg.Snapshot().Gauges
+
 	snap := r.hist.Snapshot()
 	result := SuiteResult{
 		Suite:           sc.Name,
@@ -237,12 +249,16 @@ func Run(ctx context.Context, target Target, sc Scenario, mode Mode, p Profile) 
 			P95:  snap.P95 * 1e6,
 			P99:  snap.P99 * 1e6,
 		},
-		CacheHitRate:    deltaHitRate(statsBefore, statsAfter),
-		CacheEntries:    statsAfter.CacheEntries,
-		CacheBytes:      statsAfter.CacheBytes,
-		CacheEvictions:  statsAfter.CacheEvictions,
-		Generation:      statsAfter.Generation,
-		GenerationChurn: statsAfter.Generation - statsBefore.Generation,
+		CacheHitRate:      deltaHitRate(statsBefore, statsAfter),
+		CacheEntries:      statsAfter.CacheEntries,
+		CacheBytes:        statsAfter.CacheBytes,
+		CacheEvictions:    statsAfter.CacheEvictions,
+		Generation:        statsAfter.Generation,
+		GenerationChurn:   statsAfter.Generation - statsBefore.Generation,
+		MemHeapBytes:      mem[metrics.GaugeHeapAllocBytes],
+		MemHeapObjects:    mem[metrics.GaugeHeapObjects],
+		MemGCPauseTotalMS: float64(mem[metrics.GaugeGCPauseTotalNs]) / 1e6,
+		MemNumGC:          mem[metrics.GaugeNumGC],
 	}
 	if mode == ModeBatch {
 		result.QueriesPerOp = p.BatchSize

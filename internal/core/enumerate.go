@@ -14,47 +14,21 @@ import (
 // is discovered (depth-first order). The walk stops early when yield returns
 // false or when the context is cancelled; in the latter case ctx.Err() is
 // returned. This is the cancellable core behind connection enumeration and
-// instance-level corroboration.
+// instance-level corroboration. It is a string-space wrapper around
+// WalkConnectionsIDs, which runs on interned IDs and pooled scratch; callers
+// that do not need every path rendered should use the IDs form directly.
 func WalkConnections(ctx context.Context, g *datagraph.Graph, from, to relation.TupleID, maxEdges int, yield func(Connection) bool) error {
-	if g == nil || !g.Has(from) || !g.Has(to) || maxEdges <= 0 || from == to {
+	if g == nil {
 		return nil
 	}
-	visited := map[relation.TupleID]bool{from: true}
-	var edges []datagraph.Edge
-	var walk func(cur relation.TupleID) error
-	walk = func(cur relation.TupleID) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if cur == to {
-			c, err := NewConnection(from, edges)
-			if err == nil && !yield(c) {
-				return errStopWalk
-			}
-			return nil
-		}
-		if len(edges) >= maxEdges {
-			return nil
-		}
-		for _, e := range g.Neighbors(cur) {
-			if visited[e.To] {
-				continue
-			}
-			visited[e.To] = true
-			edges = append(edges, e)
-			err := walk(e.To)
-			edges = edges[:len(edges)-1]
-			visited[e.To] = false
-			if err != nil {
-				return err
-			}
-		}
+	f, okF := g.Tuples().Lookup(from)
+	t, okT := g.Tuples().Lookup(to)
+	if !okF || !okT {
 		return nil
 	}
-	if err := walk(from); err != nil && err != errStopWalk {
-		return err
-	}
-	return nil
+	return WalkConnectionsIDs(ctx, g, f, t, maxEdges, func(p DensePath) bool {
+		return yield(p.Connection(g))
+	})
 }
 
 // errStopWalk is the internal sentinel unwinding a walk stopped by yield.

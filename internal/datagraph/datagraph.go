@@ -2,6 +2,15 @@
 // node per tuple, one undirected edge per resolved foreign-key reference.
 // The BANKS-style search, the path enumerator and the instance-level
 // association analysis all operate on it.
+//
+// Nodes are interned into the dense uint32 tuple-ID space of
+// internal/symtab (the canonical symtab.ForDatabase assignment, shared with
+// the inverted index) and adjacency is stored as slab-backed []DenseEdge
+// slices indexed by dense ID. The exported surface speaks the string space
+// (relation.TupleID, Edge) unless a method is explicitly suffixed with
+// ID/IDs; traversal order everywhere remains defined by the string-space
+// comparator (To.Less, then foreign-key label), so rendered outputs are
+// independent of the internal ID assignment.
 package datagraph
 
 import (
@@ -11,6 +20,7 @@ import (
 
 	"repro/internal/parallel"
 	"repro/internal/relation"
+	"repro/internal/symtab"
 )
 
 // Edge is an edge of the tuple graph, stored from the referencing tuple to
@@ -32,11 +42,35 @@ func (e Edge) String() string {
 	return fmt.Sprintf("%s -[%s]-> %s", e.From, e.ForeignKey, e.To)
 }
 
-// Graph is the tuple graph. It is immutable after Build.
+// DenseEdge is one adjacency entry in the interned space: the dense ID of
+// the other endpoint and the interned foreign-key label. The owning node is
+// implicit in the adjacency slot, halving the edge footprint versus Edge.
+type DenseEdge struct {
+	// To is the dense tuple ID of the other endpoint.
+	To uint32
+	// FK is the interned foreign-key label (see Graph.FKLabel).
+	FK uint32
+}
+
+// Graph is the tuple graph. It is immutable after Build; ApplyDelta derives
+// new generations copy-on-write.
 type Graph struct {
-	db        *relation.Database
-	adjacency map[relation.TupleID][]Edge
+	db     *relation.Database
+	tuples *symtab.Tuples
+	fks    *symtab.Strings
+	// adj is indexed by dense tuple ID; each slice is sorted by the
+	// string-space order (To.Less, then FK label), nil for isolated nodes
+	// and for removed tuples (whose dense IDs persist, unpresent).
+	adj       [][]DenseEdge
+	present   []bool
+	nodeCount int
 	edgeCount int
+}
+
+// rawEdge is an unsorted resolved reference in the dense space, produced by
+// the build workers.
+type rawEdge struct {
+	from, to, fk uint32
 }
 
 // Build constructs the tuple graph of the database using one worker per
@@ -46,94 +80,191 @@ func Build(db *relation.Database) *Graph {
 	return BuildParallel(db, 0)
 }
 
-// BuildParallel is Build with an explicit worker count: tables are resolved
-// by up to `workers` goroutines (0 or negative means GOMAXPROCS, 1 is the
-// fully sequential path) and their edge lists are merged in table order, so
-// the resulting graph is identical to a sequential build regardless of the
-// worker count.
+// BuildParallel is Build with an explicit worker count (0 or negative means
+// GOMAXPROCS, 1 is the fully sequential path). It derives the canonical
+// tuple-ID table itself; use BuildParallelWith to share one with the
+// inverted index.
 func BuildParallel(db *relation.Database, workers int) *Graph {
+	return BuildParallelWith(db, symtab.ForDatabase(db), workers)
+}
+
+// BuildParallelWith builds the graph over a pre-interned tuple table, which
+// must contain every tuple of db (symtab.ForDatabase order). Tables are
+// resolved by up to `workers` goroutines and their edge lists are merged in
+// table order, so the resulting graph is identical to a sequential build
+// regardless of the worker count. Workers only read the tuple table.
+func BuildParallelWith(db *relation.Database, tuples *symtab.Tuples, workers int) *Graph {
 	tables := db.Tables()
-	// Per-table workers: each resolves the outgoing foreign-key edges of one
-	// table. Workers only read the database and write their own slot.
-	perTable, _ := parallel.Map(context.Background(), workers, len(tables), func(_ context.Context, i int) ([]Edge, error) {
-		t := tables[i]
-		var edges []Edge
+	g := &Graph{db: db, tuples: tuples, fks: symtab.NewStrings()}
+
+	// Intern every foreign-key label up front, so the parallel workers only
+	// read the symbol tables.
+	for _, t := range tables {
 		for _, fk := range t.Schema().ForeignKeys {
+			g.fks.Intern(fk.Label())
+		}
+	}
+
+	// Per-table workers: each resolves the outgoing foreign-key edges of one
+	// table into the dense space.
+	perTable, _ := parallel.Map(context.Background(), workers, len(tables), func(_ context.Context, i int) ([]rawEdge, error) {
+		t := tables[i]
+		var edges []rawEdge
+		for _, fk := range t.Schema().ForeignKeys {
+			label, _ := g.fks.Lookup(fk.Label())
 			for _, tup := range t.Tuples() {
 				ref, ok := db.ReferencedTuple(tup, fk)
 				if !ok {
 					continue
 				}
-				edges = append(edges, Edge{From: tup.ID(), To: ref.ID(), ForeignKey: fk.Label()})
+				from, _ := tuples.Lookup(tup.ID())
+				to, _ := tuples.Lookup(ref.ID())
+				edges = append(edges, rawEdge{from: from, to: to, fk: label})
 			}
 		}
 		return edges, nil
 	})
-	// Deterministic merge: table order first, then the per-table discovery
-	// order, exactly as the sequential loop appended them.
-	g := &Graph{db: db, adjacency: make(map[relation.TupleID][]Edge)}
+
+	// Slab-allocate the adjacency: count degrees, carve one contiguous
+	// DenseEdge slab into per-node slices, then fill in table order followed
+	// by per-table discovery order (exactly as the sequential loop appended).
+	n := tuples.Len()
+	deg := make([]int32, n)
 	for _, edges := range perTable {
 		for _, e := range edges {
-			g.adjacency[e.From] = append(g.adjacency[e.From], e)
-			g.adjacency[e.To] = append(g.adjacency[e.To], e.Reverse())
+			deg[e.from]++
+			deg[e.to]++
 			g.edgeCount++
 		}
 	}
-	// Ensure isolated tuples still appear as nodes.
-	for _, t := range tables {
-		for _, tup := range t.Tuples() {
-			if _, ok := g.adjacency[tup.ID()]; !ok {
-				g.adjacency[tup.ID()] = nil
-			}
+	slab := make([]DenseEdge, 2*g.edgeCount)
+	g.adj = make([][]DenseEdge, n)
+	off := 0
+	for id, d := range deg {
+		if d == 0 {
+			continue // isolated tuples are still nodes, with a nil list
+		}
+		g.adj[id] = slab[off : off : off+int(d)]
+		off += int(d)
+	}
+	for _, edges := range perTable {
+		for _, e := range edges {
+			g.adj[e.from] = append(g.adj[e.from], DenseEdge{To: e.to, FK: e.fk})
+			g.adj[e.to] = append(g.adj[e.to], DenseEdge{To: e.from, FK: e.fk})
 		}
 	}
-	// Sort adjacency lists for deterministic traversal.
-	ids := make([]relation.TupleID, 0, len(g.adjacency))
-	for id := range g.adjacency {
-		ids = append(ids, id)
+	g.present = make([]bool, n)
+	for i := range g.present {
+		g.present[i] = true
 	}
-	_ = parallel.ForEach(context.Background(), workers, len(ids), func(_ context.Context, i int) error {
-		edges := g.adjacency[ids[i]]
-		sort.Slice(edges, func(i, j int) bool {
-			if edges[i].To != edges[j].To {
-				return edges[i].To.Less(edges[j].To)
-			}
-			return edges[i].ForeignKey < edges[j].ForeignKey
-		})
+	g.nodeCount = n
+
+	// Sort adjacency lists in the string-space order for deterministic
+	// traversal independent of the dense ID assignment.
+	_ = parallel.ForEach(context.Background(), workers, n, func(_ context.Context, i int) error {
+		g.sortAdjacency(g.adj[i])
 		return nil
 	})
 	return g
 }
 
+// sortAdjacency restores the deterministic (To.Less, FK label) order of one
+// adjacency list. Dense IDs are bijective with tuple identifiers, so equal
+// To means the same tuple and the label breaks the tie.
+func (g *Graph) sortAdjacency(edges []DenseEdge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].To != edges[j].To {
+			return g.tuples.Less(edges[i].To, edges[j].To)
+		}
+		return g.fks.String(edges[i].FK) < g.fks.String(edges[j].FK)
+	})
+}
+
 // Database returns the database the graph was built from.
 func (g *Graph) Database() *relation.Database { return g.db }
 
+// Tuples returns the graph's interned tuple-ID table: the dense space every
+// ID-suffixed method speaks, shared (by construction) with the inverted
+// index of the same generation.
+func (g *Graph) Tuples() *symtab.Tuples { return g.tuples }
+
 // NodeCount returns the number of tuples in the graph.
-func (g *Graph) NodeCount() int { return len(g.adjacency) }
+func (g *Graph) NodeCount() int { return g.nodeCount }
 
 // EdgeCount returns the number of (undirected) edges.
 func (g *Graph) EdgeCount() int { return g.edgeCount }
 
+// NumIDs returns the size of the dense ID space, including IDs of removed
+// tuples — the capacity bound for visited sets and distance arrays.
+func (g *Graph) NumIDs() int { return len(g.adj) }
+
+// FKLabel returns the foreign-key label of an interned FK ID.
+func (g *Graph) FKLabel(fk uint32) string { return g.fks.String(fk) }
+
 // Has reports whether the tuple is a node of the graph.
 func (g *Graph) Has(id relation.TupleID) bool {
-	_, ok := g.adjacency[id]
-	return ok
+	dense, ok := g.tuples.Lookup(id)
+	return ok && g.HasID(dense)
+}
+
+// HasID reports whether the dense ID is a present node (removed tuples keep
+// their ID but are not present).
+func (g *Graph) HasID(dense uint32) bool {
+	return int(dense) < len(g.present) && g.present[dense]
+}
+
+// NeighborsID returns the adjacency list of a dense node ID, sorted by the
+// string-space order (other tuple, foreign key). The slice is shared with
+// the graph and must not be mutated.
+func (g *Graph) NeighborsID(dense uint32) []DenseEdge {
+	if int(dense) >= len(g.adj) {
+		return nil
+	}
+	return g.adj[dense]
+}
+
+// EdgeOf converts one adjacency entry of the node `from` into the string
+// space.
+func (g *Graph) EdgeOf(from uint32, de DenseEdge) Edge {
+	return Edge{From: g.tuples.ID(from), To: g.tuples.ID(de.To), ForeignKey: g.fks.String(de.FK)}
 }
 
 // Neighbors returns the edges incident to the tuple, oriented away from it
-// and sorted by (other tuple, foreign key).
+// and sorted by (other tuple, foreign key). This is the string-space view,
+// materialized per call; traversal hot paths use NeighborsID instead.
 func (g *Graph) Neighbors(id relation.TupleID) []Edge {
-	return g.adjacency[id]
+	dense, ok := g.tuples.Lookup(id)
+	if !ok || !g.HasID(dense) {
+		return nil
+	}
+	adj := g.adj[dense]
+	if len(adj) == 0 {
+		return nil
+	}
+	out := make([]Edge, len(adj))
+	from := g.tuples.ID(dense)
+	for i, de := range adj {
+		out[i] = Edge{From: from, To: g.tuples.ID(de.To), ForeignKey: g.fks.String(de.FK)}
+	}
+	return out
 }
 
 // Degree returns the number of edges incident to the tuple.
-func (g *Graph) Degree(id relation.TupleID) int { return len(g.adjacency[id]) }
+func (g *Graph) Degree(id relation.TupleID) int {
+	dense, ok := g.tuples.Lookup(id)
+	if !ok {
+		return 0
+	}
+	return len(g.adj[dense])
+}
 
 // Nodes returns every tuple id, sorted, for deterministic iteration.
 func (g *Graph) Nodes() []relation.TupleID {
-	out := make([]relation.TupleID, 0, len(g.adjacency))
-	for id := range g.adjacency {
-		out = append(out, id)
+	out := make([]relation.TupleID, 0, g.nodeCount)
+	for dense, ok := range g.present {
+		if ok {
+			out = append(out, g.tuples.ID(uint32(dense)))
+		}
 	}
 	relation.SortTupleIDs(out)
 	return out
@@ -147,17 +278,21 @@ func (g *Graph) Tuple(id relation.TupleID) (*relation.Tuple, bool) {
 // BFS traverses the graph breadth-first from the start node and returns the
 // hop distance of every reachable node.
 func (g *Graph) BFS(start relation.TupleID) map[relation.TupleID]int {
-	if !g.Has(start) {
+	s, ok := g.tuples.Lookup(start)
+	if !ok || !g.HasID(s) {
 		return map[relation.TupleID]int{}
 	}
 	dist := map[relation.TupleID]int{start: 0}
-	queue := []relation.TupleID{start}
+	dense := map[uint32]int{s: 0}
+	queue := []uint32{s}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, e := range g.adjacency[cur] {
-			if _, seen := dist[e.To]; !seen {
-				dist[e.To] = dist[cur] + 1
+		for _, e := range g.adj[cur] {
+			if _, seen := dense[e.To]; !seen {
+				d := dense[cur] + 1
+				dense[e.To] = d
+				dist[g.tuples.ID(e.To)] = d
 				queue = append(queue, e.To)
 			}
 		}
@@ -169,26 +304,44 @@ func (g *Graph) BFS(start relation.TupleID) map[relation.TupleID]int {
 // edges) between two tuples, or false when they are not connected. Ties are
 // broken deterministically by the sorted adjacency order.
 func (g *Graph) ShortestPath(from, to relation.TupleID) ([]Edge, bool) {
-	if !g.Has(from) || !g.Has(to) {
+	f, okF := g.tuples.Lookup(from)
+	t, okT := g.tuples.Lookup(to)
+	if !okF || !okT || !g.HasID(f) || !g.HasID(t) {
 		return nil, false
 	}
-	if from == to {
+	if f == t {
 		return nil, true
 	}
-	prev := make(map[relation.TupleID]Edge)
-	seen := map[relation.TupleID]bool{from: true}
-	queue := []relation.TupleID{from}
+	// prev[node] is the adjacency entry that discovered it, paired with the
+	// discovering node so the edge can be rendered later.
+	type hop struct {
+		from uint32
+		de   DenseEdge
+	}
+	prev := make(map[uint32]hop)
+	seen := map[uint32]bool{f: true}
+	queue := []uint32{f}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, e := range g.adjacency[cur] {
+		for _, e := range g.adj[cur] {
 			if seen[e.To] {
 				continue
 			}
 			seen[e.To] = true
-			prev[e.To] = e
-			if e.To == to {
-				return reconstruct(prev, from, to), true
+			prev[e.To] = hop{from: cur, de: e}
+			if e.To == t {
+				var rev []Edge
+				for cur := t; cur != f; {
+					h := prev[cur]
+					rev = append(rev, g.EdgeOf(h.from, h.de))
+					cur = h.from
+				}
+				out := make([]Edge, len(rev))
+				for i := range rev {
+					out[i] = rev[len(rev)-1-i]
+				}
+				return out, true
 			}
 			queue = append(queue, e.To)
 		}
@@ -196,40 +349,25 @@ func (g *Graph) ShortestPath(from, to relation.TupleID) ([]Edge, bool) {
 	return nil, false
 }
 
-func reconstruct(prev map[relation.TupleID]Edge, from, to relation.TupleID) []Edge {
-	var rev []Edge
-	cur := to
-	for cur != from {
-		e := prev[cur]
-		rev = append(rev, e)
-		cur = e.From
-	}
-	out := make([]Edge, len(rev))
-	for i := range rev {
-		out[i] = rev[len(rev)-1-i]
-	}
-	return out
-}
-
 // ConnectedComponents returns the node sets of the connected components,
 // each sorted, ordered by their smallest member.
 func (g *Graph) ConnectedComponents() [][]relation.TupleID {
-	seen := make(map[relation.TupleID]bool, len(g.adjacency))
+	var seen symtab.Bitset
+	seen.Grow(len(g.adj))
 	var comps [][]relation.TupleID
 	for _, id := range g.Nodes() {
-		if seen[id] {
+		dense, _ := g.tuples.Lookup(id)
+		if !seen.Add(dense) {
 			continue
 		}
 		var comp []relation.TupleID
-		queue := []relation.TupleID{id}
-		seen[id] = true
+		queue := []uint32{dense}
 		for len(queue) > 0 {
 			cur := queue[0]
 			queue = queue[1:]
-			comp = append(comp, cur)
-			for _, e := range g.adjacency[cur] {
-				if !seen[e.To] {
-					seen[e.To] = true
+			comp = append(comp, g.tuples.ID(cur))
+			for _, e := range g.adj[cur] {
+				if seen.Add(e.To) {
 					queue = append(queue, e.To)
 				}
 			}

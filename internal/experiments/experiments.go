@@ -19,6 +19,7 @@ import (
 	"repro/internal/schemagraph"
 	"repro/internal/search/mtjnt"
 	"repro/internal/search/paths"
+	"repro/internal/symtab"
 )
 
 // Report is the textual output of one experiment.
@@ -291,5 +292,7 @@ func buildComponents(db *relation.Database) (*datagraph.Graph, *index.Index, *co
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return datagraph.Build(db), index.Build(db), analyzer, nil
+	// One interned tuple-ID space shared by both substrates.
+	tuples := symtab.ForDatabase(db)
+	return datagraph.BuildParallelWith(db, tuples, 1), index.BuildParallelWith(db, tuples, 1), analyzer, nil
 }

@@ -292,6 +292,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	relations, tuples, edges := s.engine.Stats()
 	cs := s.cache.Stats()
+	metrics.SampleMemStats(s.reg)
 	snap := s.reg.Snapshot()
 	latency := make(map[string]Quant, len(snap.Histograms))
 	for name, h := range snap.Histograms {
@@ -335,6 +336,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			ShedRate:    shedRate,
 			InFlight:    len(s.sem),
 			MaxInFlight: cap(s.sem),
+		},
+		Memory: MemoryStats{
+			HeapAllocBytes: snap.Gauges[metrics.GaugeHeapAllocBytes],
+			HeapObjects:    snap.Gauges[metrics.GaugeHeapObjects],
+			GCPauseTotalMS: float64(snap.Gauges[metrics.GaugeGCPauseTotalNs]) / 1e6,
+			NumGC:          snap.Gauges[metrics.GaugeNumGC],
 		},
 		Latency: latency,
 	})

@@ -242,6 +242,7 @@ type StatsResponse struct {
 	Engine     EngineStats      `json:"engine"`
 	Cache      CacheStats       `json:"cache"`
 	Server     ServerStats      `json:"server"`
+	Memory     MemoryStats      `json:"memory"`
 	Latency    map[string]Quant `json:"latency"`
 }
 
@@ -276,6 +277,16 @@ type ServerStats struct {
 	ShedRate    float64 `json:"shed_rate"`
 	InFlight    int     `json:"in_flight"`
 	MaxInFlight int     `json:"max_in_flight"`
+}
+
+// MemoryStats reports process heap gauges sampled from runtime.MemStats at
+// request time (see metrics.SampleMemStats): live heap bytes and objects,
+// cumulative stop-the-world GC pause, and completed GC cycles.
+type MemoryStats struct {
+	HeapAllocBytes int64   `json:"heap_alloc_bytes"`
+	HeapObjects    int64   `json:"heap_objects"`
+	GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+	NumGC          int64   `json:"num_gc"`
 }
 
 // Quant is a latency summary in milliseconds for one search engine kind.

@@ -4,12 +4,16 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/parallel"
+	"repro/internal/postings"
 	"repro/internal/relation"
+	"repro/internal/symtab"
 )
 
-// Match is one tuple matching a keyword.
+// Match is one tuple matching a keyword, in the string space: Tuple is the
+// full relation+key identifier and Columns are attribute names.
 type Match struct {
 	// Tuple identifies the matching tuple.
 	Tuple relation.TupleID
@@ -21,17 +25,24 @@ type Match struct {
 	Columns []string
 }
 
-// posting records the occurrences of a term in one tuple.
-type posting struct {
-	tf      int
-	columns map[string]bool
-}
-
-// Index is an inverted index over the text attributes of a database.
+// Index is an inverted index over the text attributes of a database. Terms,
+// column names and tuple identifiers are interned into dense uint32 spaces
+// (see internal/symtab); postings are varint-delta-compressed blocks sorted
+// by interned tuple ID (see internal/postings). The exported surface speaks
+// the string space unless a method is explicitly suffixed with IDs/ID — the
+// interned views exist for the search engines, whose hot loops run on dense
+// IDs and convert only at render time.
+//
+// The tuple-ID space is the canonical assignment of symtab.ForDatabase, so
+// an Index and a datagraph.Graph built over the same database agree on every
+// tuple's dense ID.
 type Index struct {
 	db       *relation.Database
-	postings map[string]map[relation.TupleID]*posting
-	docLen   map[relation.TupleID]int
+	tuples   *symtab.Tuples
+	terms    *symtab.Strings
+	cols     *symtab.Strings
+	post     map[uint32]*postings.List
+	docLen   []int32 // indexed by dense tuple ID; 0 for unindexed or removed
 	docCount int
 }
 
@@ -43,73 +54,159 @@ func Build(db *relation.Database) *Index {
 	return BuildParallel(db, 0)
 }
 
-// BuildParallel is Build with an explicit worker count: each table is
-// indexed by its own worker into a partial index (0 or negative workers
-// means GOMAXPROCS, 1 is the fully sequential path) and the partials are
-// merged afterwards. Tuples are disjoint across tables, so the merged index
-// is identical to a sequential build regardless of the worker count.
+// BuildParallel is Build with an explicit worker count (0 or negative means
+// GOMAXPROCS, 1 is the fully sequential path). It derives the canonical
+// tuple-ID table itself; use BuildParallelWith to share one across
+// substrates.
 func BuildParallel(db *relation.Database, workers int) *Index {
+	return BuildParallelWith(db, symtab.ForDatabase(db), workers)
+}
+
+// partial is one table's worth of postings, accumulated by a build worker in
+// its own term/column ID spaces and remapped during the merge.
+type partial struct {
+	terms *symtab.Strings
+	cols  *symtab.Strings
+	// post is indexed by the partial's term ID; entries are ascending by
+	// dense tuple ID because tuples are scanned in canonical order and each
+	// table covers a contiguous ID range.
+	post     [][]postings.Entry
+	docLen   []int32 // the table's segment of the document-length column
+	start    uint32  // first dense tuple ID of the table
+	docCount int
+}
+
+// BuildParallelWith builds the index over a pre-interned tuple table, which
+// must contain every tuple of db (symtab.ForDatabase order). Each table is
+// indexed by its own worker into a partial index and the partials are merged
+// afterwards; tuples are disjoint across tables, so the merged index is
+// identical to a sequential build regardless of the worker count.
+func BuildParallelWith(db *relation.Database, tuples *symtab.Tuples, workers int) *Index {
 	tables := db.Tables()
-	partials, _ := parallel.Map(context.Background(), workers, len(tables), func(_ context.Context, i int) (*Index, error) {
-		part := &Index{
-			postings: make(map[string]map[relation.TupleID]*posting),
-			docLen:   make(map[relation.TupleID]int),
+	starts := make([]uint32, len(tables))
+	off := uint32(0)
+	for i, t := range tables {
+		starts[i] = off
+		off += uint32(len(t.Tuples()))
+	}
+	parts, _ := parallel.Map(context.Background(), workers, len(tables), func(_ context.Context, i int) (*partial, error) {
+		part := &partial{
+			terms:  symtab.NewStrings(),
+			cols:   symtab.NewStrings(),
+			docLen: make([]int32, len(tables[i].Tuples())),
+			start:  starts[i],
 		}
-		for _, tup := range tables[i].Tuples() {
+		var tokens []string
+		for ti, tup := range tables[i].Tuples() {
 			part.docCount++
-			for column, text := range tup.AttributeText() {
-				for _, term := range Tokenize(text) {
-					part.add(term, tup.ID(), column)
+			id := starts[i] + uint32(ti)
+			schema := tup.Schema()
+			for _, column := range schema.TextColumns() {
+				v := tup.Value(column)
+				if v.IsNull() {
+					continue
+				}
+				tokens = TokenizeInto(tokens[:0], v.AsString())
+				if len(tokens) == 0 {
+					continue
+				}
+				colID := part.cols.Intern(column)
+				for _, term := range tokens {
+					part.add(term, id, colID)
+					part.docLen[ti]++
 				}
 			}
 		}
 		return part, nil
 	})
+
 	idx := &Index{
-		db:       db,
-		postings: make(map[string]map[relation.TupleID]*posting),
-		docLen:   make(map[relation.TupleID]int),
+		db:     db,
+		tuples: tuples,
+		terms:  symtab.NewStrings(),
+		cols:   symtab.NewStrings(),
+		docLen: make([]int32, tuples.Len()),
 	}
-	for _, part := range partials {
+	// Merge in table order: the per-table entry runs cover ascending dense-ID
+	// ranges, so concatenation keeps every term's entries sorted.
+	acc := make(map[uint32][]postings.Entry)
+	for _, part := range parts {
 		idx.docCount += part.docCount
-		for id, n := range part.docLen {
-			idx.docLen[id] = n
+		copy(idx.docLen[part.start:], part.docLen)
+		colMap := make([]uint32, part.cols.Len())
+		for pc := range colMap {
+			colMap[pc] = idx.cols.Intern(part.cols.String(uint32(pc)))
 		}
-		for term, byTuple := range part.postings {
-			have := idx.postings[term]
-			if have == nil {
-				idx.postings[term] = byTuple
-				continue
+		for pt, entries := range part.post {
+			term := idx.terms.Intern(part.terms.String(uint32(pt)))
+			for i := range entries {
+				cols := entries[i].Cols
+				for j, c := range cols {
+					cols[j] = colMap[c]
+				}
+				sortU32(cols)
 			}
-			for id, p := range byTuple {
-				have[id] = p
-			}
+			acc[term] = append(acc[term], entries...)
 		}
+	}
+	idx.post = make(map[uint32]*postings.List, len(acc))
+	for term, entries := range acc {
+		idx.post[term] = postings.Build(entries)
 	}
 	return idx
 }
 
-func (idx *Index) add(term string, id relation.TupleID, column string) {
-	byTuple := idx.postings[term]
-	if byTuple == nil {
-		byTuple = make(map[relation.TupleID]*posting)
-		idx.postings[term] = byTuple
+// add records one occurrence of term in the tuple with the given dense ID.
+// Entries stay aggregated because a tuple's occurrences arrive contiguously.
+func (p *partial) add(term string, id uint32, colID uint32) {
+	t := p.terms.Intern(term)
+	if int(t) == len(p.post) {
+		p.post = append(p.post, nil)
 	}
-	p := byTuple[id]
-	if p == nil {
-		p = &posting{columns: make(map[string]bool)}
-		byTuple[id] = p
+	entries := p.post[t]
+	if n := len(entries); n > 0 && entries[n-1].ID == id {
+		e := &entries[n-1]
+		e.TF++
+		if !containsU32(e.Cols, colID) {
+			e.Cols = append(e.Cols, colID)
+		}
+		return
 	}
-	p.tf++
-	p.columns[column] = true
-	idx.docLen[id]++
+	p.post[t] = append(entries, postings.Entry{ID: id, TF: 1, Cols: []uint32{colID}})
 }
+
+func containsU32(s []uint32, v uint32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sortU32(s []uint32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// Tuples returns the index's interned tuple-ID table: the dense space every
+// IDs-suffixed method speaks. It is the canonical symtab.ForDatabase
+// assignment, shared (by construction or by value) with the data graph.
+func (idx *Index) Tuples() *symtab.Tuples { return idx.tuples }
 
 // DocCount returns the number of indexed tuples.
 func (idx *Index) DocCount() int { return idx.docCount }
 
 // TermCount returns the number of distinct terms in the index.
-func (idx *Index) TermCount() int { return len(idx.postings) }
+func (idx *Index) TermCount() int { return len(idx.post) }
+
+// list returns the posting list of a raw term, or nil.
+func (idx *Index) list(term string) *postings.List {
+	t, ok := idx.terms.Lookup(term)
+	if !ok {
+		return nil
+	}
+	return idx.post[t]
+}
 
 // DocFrequency returns the number of tuples containing the term. The term
 // is normalized with the same tokenizer that built the postings, so
@@ -118,95 +215,175 @@ func (idx *Index) TermCount() int { return len(idx.postings) }
 // several terms reports the number of tuples containing all of them,
 // consistent with Match's conjunctive semantics.
 func (idx *Index) DocFrequency(term string) int {
-	terms := Tokenize(term)
+	sc := getScratch()
+	defer putScratch(sc)
+	terms := TokenizeInto(sc.tokens[:0], term)
+	sc.tokens = terms
 	switch len(terms) {
 	case 0:
 		return 0
 	case 1:
-		return len(idx.postings[terms[0]])
+		return idx.list(terms[0]).Len()
 	}
-	seed := idx.rarest(terms)
+	lists, seed, ok := idx.resolveLists(sc, terms)
+	if !ok {
+		return 0
+	}
 	n := 0
-	for id := range idx.postings[seed] {
-		if idx.containsAll(id, terms) {
-			n++
-		}
-	}
+	idx.intersect(sc, lists, seed, func(uint32, []postings.Entry) bool {
+		n++
+		return true
+	})
 	return n
 }
 
-// rarest returns the term with the smallest postings list, the cheapest seed
-// for a conjunctive intersection.
-func (idx *Index) rarest(terms []string) string {
-	best := terms[0]
-	for _, t := range terms[1:] {
-		if len(idx.postings[t]) < len(idx.postings[best]) {
-			best = t
+// resolveLists resolves terms to posting lists into sc.lists, in query
+// token order, and returns the index of the rarest list — the cheapest seed
+// for the conjunctive merge-join. ok is false when any term is unknown
+// (conjunctive queries then match nothing). Token order is preserved so
+// that scores sum term contributions in exactly the order the pre-interning
+// implementation did, keeping floating-point results bit-identical.
+func (idx *Index) resolveLists(sc *scratch, terms []string) (lists []*postings.List, seed int, ok bool) {
+	lists = sc.lists[:0]
+	defer func() { sc.lists = lists }()
+	for _, t := range terms {
+		l := idx.list(t)
+		if l.Len() == 0 {
+			return lists, 0, false
+		}
+		lists = append(lists, l)
+	}
+	for i, l := range lists[1:] {
+		if l.Len() < lists[seed].Len() {
+			seed = i + 1
 		}
 	}
-	return best
+	return lists, seed, true
 }
 
-// containsAll reports whether the tuple contains every term.
-func (idx *Index) containsAll(id relation.TupleID, terms []string) bool {
-	for _, t := range terms {
-		if idx.postings[t][id] == nil {
-			return false
+// intersect runs the conjunctive merge-join over the lists, driving from
+// lists[seed] and Seek-ing the others, and invokes fn for every tuple
+// present in all of them. entries[i] is the posting from lists[i] (token
+// order); its Cols alias iterator scratch and are only valid inside fn.
+// fn returning false stops the scan.
+func (idx *Index) intersect(sc *scratch, lists []*postings.List, seed int, fn func(id uint32, entries []postings.Entry) bool) {
+	iters := sc.iters
+	for len(iters) < len(lists) {
+		iters = append(iters, postings.Iterator{})
+	}
+	sc.iters = iters
+	for i, l := range lists {
+		iters[i].Reset(l)
+	}
+	entries := sc.entries
+	for len(entries) < len(lists) {
+		entries = append(entries, postings.Entry{})
+	}
+	sc.entries = entries
+	drv := &iters[seed]
+	for drv.Next() {
+		id := drv.Entry.ID
+		ok := true
+		for i := range lists {
+			if i == seed {
+				entries[i] = drv.Entry
+				continue
+			}
+			it := &iters[i]
+			if !it.Seek(id) || it.Entry.ID != id {
+				ok = false
+				break
+			}
+			entries[i] = it.Entry
+		}
+		if !ok {
+			continue
+		}
+		if !fn(id, entries[:len(lists)]) {
+			return
 		}
 	}
-	return true
 }
 
 // idf is the smoothed inverse document frequency of a term.
 func (idx *Index) idf(term string) float64 {
-	df := len(idx.postings[term])
+	return idx.idfOf(idx.list(term))
+}
+
+func (idx *Index) idfOf(l *postings.List) float64 {
+	df := l.Len()
 	if df == 0 {
 		return 0
 	}
 	return math.Log(1 + float64(idx.docCount)/float64(df))
 }
 
+// scratch bundles the per-query decode state Match and its siblings reuse:
+// token and column buffers, iterators, and per-term idf values. Pooled so
+// steady-state matching allocates only its results.
+type scratch struct {
+	tokens  []string
+	lists   []*postings.List
+	iters   []postings.Iterator
+	entries []postings.Entry
+	idf     []float64
+	colIDs  []uint32
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+func getScratch() *scratch   { return scratchPool.Get().(*scratch) }
+func putScratch(sc *scratch) { scratchPool.Put(sc) }
+
 // Match returns the tuples matching the keyword, sorted by descending score
 // then tuple id. A keyword that tokenizes into several terms matches tuples
 // containing all of them (conjunctive semantics). Unknown keywords return no
 // matches.
 func (idx *Index) Match(keyword string) []Match {
-	terms := Tokenize(keyword)
+	sc := getScratch()
+	defer putScratch(sc)
+	return idx.match(sc, keyword)
+}
+
+func (idx *Index) match(sc *scratch, keyword string) []Match {
+	terms := TokenizeInto(sc.tokens[:0], keyword)
+	sc.tokens = terms
 	if len(terms) == 0 {
 		return nil
 	}
-	// Candidate tuples must contain every term; seeding the intersection
-	// from the rarest term keeps multi-term keywords from scanning the
-	// largest postings list.
-	candidates := idx.postings[idx.rarest(terms)]
-	if len(candidates) == 0 {
+	lists, seed, ok := idx.resolveLists(sc, terms)
+	if !ok {
 		return nil
 	}
-	var out []Match
-	for id := range candidates {
+	idfs := sc.idf[:0]
+	for _, l := range lists {
+		idfs = append(idfs, idx.idfOf(l))
+	}
+	sc.idf = idfs
+	// Result capacity: the rarest list bounds the intersection size.
+	out := make([]Match, 0, lists[seed].Len())
+	idx.intersect(sc, lists, seed, func(id uint32, entries []postings.Entry) bool {
 		score := 0.0
-		columns := make(map[string]bool)
-		ok := true
-		for _, term := range terms {
-			p := idx.postings[term][id]
-			if p == nil {
-				ok = false
-				break
-			}
-			score += (1 + math.Log(float64(p.tf))) * idx.idf(term)
-			for c := range p.columns {
-				columns[c] = true
+		colIDs := sc.colIDs[:0]
+		for i, e := range entries {
+			score += (1 + math.Log(float64(e.TF))) * idfs[i]
+			for _, c := range e.Cols {
+				if !containsU32(colIDs, c) {
+					colIDs = append(colIDs, c)
+				}
 			}
 		}
-		if !ok {
-			continue
-		}
-		cols := make([]string, 0, len(columns))
-		for c := range columns {
-			cols = append(cols, c)
+		sc.colIDs = colIDs[:0]
+		cols := make([]string, 0, len(colIDs))
+		for _, c := range colIDs {
+			cols = append(cols, idx.cols.String(c))
 		}
 		sort.Strings(cols)
-		out = append(out, Match{Tuple: id, Score: score, Columns: cols})
+		out = append(out, Match{Tuple: idx.tuples.ID(id), Score: score, Columns: cols})
+		return true
+	})
+	if len(out) == 0 {
+		return nil
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
@@ -217,23 +394,54 @@ func (idx *Index) Match(keyword string) []Match {
 	return out
 }
 
-// MatchAll resolves every keyword of a query. The returned map is keyed by
-// the original keyword strings. Keywords with no match map to an empty
-// slice, letting callers decide between AND and OR semantics.
-func (idx *Index) MatchAll(keywords []string) map[string][]Match {
-	out := make(map[string][]Match, len(keywords))
-	for _, kw := range keywords {
-		out[kw] = idx.Match(kw)
+// MatchIDs returns the dense tuple IDs matching the keyword, ascending by
+// interned ID (not by tuple-identifier order — sort via Tuples().Less when
+// the string-space order matters). Same conjunctive semantics as Match,
+// without scores or columns: this is the entry the search engines seed from.
+func (idx *Index) MatchIDs(keyword string) []uint32 {
+	sc := getScratch()
+	defer putScratch(sc)
+	terms := TokenizeInto(sc.tokens[:0], keyword)
+	sc.tokens = terms
+	if len(terms) == 0 {
+		return nil
+	}
+	lists, seed, ok := idx.resolveLists(sc, terms)
+	if !ok {
+		return nil
+	}
+	out := make([]uint32, 0, lists[seed].Len())
+	idx.intersect(sc, lists, seed, func(id uint32, _ []postings.Entry) bool {
+		out = append(out, id)
+		return true
+	})
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
 
-// KeywordTuples returns the set of tuples matching the keyword as a map.
+// MatchAll resolves every keyword of a query, reusing one normalized-token
+// scratch across keywords. The returned map is keyed by the original keyword
+// strings. Keywords with no match map to an empty slice, letting callers
+// decide between AND and OR semantics.
+func (idx *Index) MatchAll(keywords []string) map[string][]Match {
+	sc := getScratch()
+	defer putScratch(sc)
+	out := make(map[string][]Match, len(keywords))
+	for _, kw := range keywords {
+		out[kw] = idx.match(sc, kw)
+	}
+	return out
+}
+
+// KeywordTuples returns the set of tuples matching the keyword as a
+// string-space map.
 func (idx *Index) KeywordTuples(keyword string) map[relation.TupleID]bool {
-	matches := idx.Match(keyword)
-	out := make(map[relation.TupleID]bool, len(matches))
-	for _, m := range matches {
-		out[m.Tuple] = true
+	ids := idx.MatchIDs(keyword)
+	out := make(map[relation.TupleID]bool, len(ids))
+	for _, id := range ids {
+		out[idx.tuples.ID(id)] = true
 	}
 	return out
 }
@@ -241,14 +449,33 @@ func (idx *Index) KeywordTuples(keyword string) map[relation.TupleID]bool {
 // ContentScore returns the total TF-IDF score of the given tuple for the
 // query keywords; tuples that match no keyword score zero.
 func (idx *Index) ContentScore(id relation.TupleID, keywords []string) float64 {
+	dense, ok := idx.tuples.Lookup(id)
+	if !ok {
+		return 0
+	}
+	return idx.ContentScoreID(dense, keywords)
+}
+
+// ContentScoreID is ContentScore over a dense tuple ID. Queries scoring many
+// tuples against the same keywords should build a Scorer once instead.
+func (idx *Index) ContentScoreID(dense uint32, keywords []string) float64 {
+	sc := getScratch()
+	defer putScratch(sc)
 	score := 0.0
+	var it postings.Iterator
 	for _, kw := range keywords {
-		for _, term := range Tokenize(kw) {
-			p := idx.postings[term][id]
-			if p == nil {
+		terms := TokenizeInto(sc.tokens[:0], kw)
+		sc.tokens = terms
+		for _, term := range terms {
+			l := idx.list(term)
+			if l.Len() == 0 {
 				continue
 			}
-			score += (1 + math.Log(float64(p.tf))) * idx.idf(term)
+			e, ok := l.Find(dense, &it)
+			if !ok {
+				continue
+			}
+			score += (1 + math.Log(float64(e.TF))) * idx.idfOf(l)
 		}
 	}
 	return score
@@ -257,9 +484,9 @@ func (idx *Index) ContentScore(id relation.TupleID, keywords []string) float64 {
 // Vocabulary returns the indexed terms in sorted order; useful for workload
 // generators that need realistic query keywords.
 func (idx *Index) Vocabulary() []string {
-	out := make([]string, 0, len(idx.postings))
-	for t := range idx.postings {
-		out = append(out, t)
+	out := make([]string, 0, len(idx.post))
+	for t := range idx.post {
+		out = append(out, idx.terms.String(t))
 	}
 	sort.Strings(out)
 	return out

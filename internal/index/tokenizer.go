@@ -8,6 +8,7 @@ package index
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Tokenize splits free text into lowercase terms. Letters and digits are
@@ -16,23 +17,44 @@ import (
 // and explainable, as in the paper's example where "XML" matches attribute
 // values containing the word XML.
 func Tokenize(text string) []string {
-	var tokens []string
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() > 0 {
-			tokens = append(tokens, cur.String())
-			cur.Reset()
-		}
-	}
-	for _, r := range text {
-		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			cur.WriteRune(unicode.ToLower(r))
+	return TokenizeInto(nil, text)
+}
+
+// TokenizeInto is Tokenize appending into dst, reusing its backing array —
+// the allocation-conscious form the index hot paths call with a pooled
+// buffer. Tokens that are already lowercase alias the input string instead
+// of being copied.
+func TokenizeInto(dst []string, text string) []string {
+	i, n := 0, len(text)
+	for i < n {
+		r, sz := utf8.DecodeRuneInString(text[i:])
+		if !isTokenRune(r) {
+			i += sz
 			continue
 		}
-		flush()
+		start := i
+		lower := true
+		for i < n {
+			r, sz = utf8.DecodeRuneInString(text[i:])
+			if !isTokenRune(r) {
+				break
+			}
+			if unicode.ToLower(r) != r {
+				lower = false
+			}
+			i += sz
+		}
+		tok := text[start:i]
+		if !lower {
+			tok = strings.ToLower(tok)
+		}
+		dst = append(dst, tok)
 	}
-	flush()
-	return tokens
+	return dst
+}
+
+func isTokenRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
 }
 
 // NormalizeKeyword normalizes a query keyword the same way document terms

@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -29,6 +30,40 @@ func (c *Counter) Add(n int64) {
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value safe for concurrent use: unlike Counter it
+// can move in both directions and is overwritten, not accumulated. It is the
+// shape for sampled process state such as heap size or live object counts.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the last value set.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Memory gauge names fed by SampleMemStats. They are part of the export
+// schema (/v1/stats and the kws-bench report embed them by name).
+const (
+	GaugeHeapAllocBytes = "mem_heap_alloc_bytes"  // bytes of live heap (runtime.MemStats.HeapAlloc)
+	GaugeHeapObjects    = "mem_heap_objects"      // live heap objects (runtime.MemStats.HeapObjects)
+	GaugeGCPauseTotalNs = "mem_gc_pause_total_ns" // cumulative stop-the-world pause (runtime.MemStats.PauseTotalNs)
+	GaugeNumGC          = "mem_num_gc"            // completed GC cycles (runtime.MemStats.NumGC)
+)
+
+// SampleMemStats reads runtime.MemStats once and stores the memory gauges in
+// the registry. Call it on demand (a stats request, the end of a bench run)
+// rather than on a timer: ReadMemStats briefly stops the world.
+func SampleMemStats(r *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge(GaugeHeapAllocBytes).Set(int64(ms.HeapAlloc))
+	r.Gauge(GaugeHeapObjects).Set(int64(ms.HeapObjects))
+	r.Gauge(GaugeGCPauseTotalNs).Set(int64(ms.PauseTotalNs))
+	r.Gauge(GaugeNumGC).Set(int64(ms.NumGC))
+}
 
 // Histogram accumulates observations into fixed buckets and estimates
 // quantiles by linear interpolation within the winning bucket. Observations
@@ -172,6 +207,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
+	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 }
 
@@ -179,8 +215,21 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 	}
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -215,6 +264,7 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 // benchmark report can embed it directly instead of hand-rolling maps.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
@@ -225,6 +275,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, c := range r.counters {
 		cs[name] = c
 	}
+	gs := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gs[name] = g
+	}
 	hs := make(map[string]*Histogram, len(r.histograms))
 	for name, h := range r.histograms {
 		hs[name] = h
@@ -233,6 +287,12 @@ func (r *Registry) Snapshot() Snapshot {
 	snap := Snapshot{
 		Counters:   make(map[string]int64, len(cs)),
 		Histograms: make(map[string]HistogramSnapshot, len(hs)),
+	}
+	if len(gs) > 0 {
+		snap.Gauges = make(map[string]int64, len(gs))
+		for name, g := range gs {
+			snap.Gauges[name] = g.Value()
+		}
 	}
 	for name, c := range cs {
 		snap.Counters[name] = c.Value()

@@ -1,0 +1,131 @@
+package postings
+
+import (
+	"bytes"
+	"testing"
+)
+
+// entriesFromBytes derives a valid posting list from raw fuzz bytes: each
+// byte pair becomes (ID delta, payload), so any input maps to a strictly
+// ascending list and the fuzzer explores lengths, gap sizes and payload
+// shapes without tripping Build's ordering panic.
+func entriesFromBytes(data []byte) []Entry {
+	var entries []Entry
+	id := uint32(0)
+	for i := 0; i+1 < len(data); i += 2 {
+		id += uint32(data[i]) + 1 // strictly ascending
+		e := Entry{ID: id, TF: uint32(data[i+1]%7) + 1}
+		for c := uint32(0); c < uint32(data[i+1]%4); c++ {
+			e.Cols = append(e.Cols, c)
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// FuzzPostingRoundTrip checks the codec invariants on arbitrary lists:
+// Build/Decode is the identity, the iterator visits exactly the encoded
+// entries in order, Seek agrees with a linear scan for every probe, and
+// Find hits exactly the encoded IDs.
+func FuzzPostingRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1})
+	f.Add([]byte{5, 2, 0, 0, 255, 9})
+	f.Add(bytes.Repeat([]byte{1, 3}, 200)) // long list crossing skip blocks
+	f.Add(bytes.Repeat([]byte{255, 0}, 70))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries := entriesFromBytes(data)
+		l := Build(entries)
+		if got := l.Len(); got != len(entries) {
+			t.Fatalf("Len = %d, want %d", got, len(entries))
+		}
+
+		decoded := l.Decode(nil)
+		if len(decoded) != len(entries) {
+			t.Fatalf("Decode returned %d entries, want %d", len(decoded), len(entries))
+		}
+		for i := range entries {
+			if !entryEq(decoded[i], entries[i]) {
+				t.Fatalf("Decode[%d] = %+v, want %+v", i, decoded[i], entries[i])
+			}
+		}
+
+		var it Iterator
+		it.Reset(l)
+		for i := range entries {
+			if !it.Next() {
+				t.Fatalf("Next exhausted at %d of %d", i, len(entries))
+			}
+			if !entryEq(it.Entry, entries[i]) {
+				t.Fatalf("Next[%d] = %+v, want %+v", i, it.Entry, entries[i])
+			}
+		}
+		if it.Next() {
+			t.Fatalf("Next yielded past the end: %+v", it.Entry)
+		}
+
+		// Seek must land on the first entry with ID >= target, for targets
+		// on, between, before and after the encoded IDs.
+		probes := []uint32{0, 1}
+		for _, e := range entries {
+			probes = append(probes, e.ID-1, e.ID, e.ID+1)
+		}
+		for _, target := range probes {
+			want, found := -1, false
+			for i, e := range entries {
+				if e.ID >= target {
+					want, found = i, true
+					break
+				}
+			}
+			it.Reset(l)
+			ok := it.Seek(target)
+			if ok != found {
+				t.Fatalf("Seek(%d) = %v, want %v", target, ok, found)
+			}
+			if found && !entryEq(it.Entry, entries[want]) {
+				t.Fatalf("Seek(%d) = %+v, want %+v", target, it.Entry, entries[want])
+			}
+			if found {
+				// Seek leaves the iterator positioned: Next continues.
+				for i := want + 1; i < len(entries); i++ {
+					if !it.Next() {
+						t.Fatalf("Next after Seek(%d) exhausted at %d", target, i)
+					}
+					if it.Entry.ID != entries[i].ID {
+						t.Fatalf("Next after Seek(%d) = ID %d, want %d", target, it.Entry.ID, entries[i].ID)
+					}
+				}
+			}
+		}
+
+		// Find hits exactly the encoded IDs.
+		present := make(map[uint32]Entry, len(entries))
+		for _, e := range entries {
+			present[e.ID] = e
+		}
+		for _, target := range probes {
+			var pt Iterator
+			got, ok := l.Find(target, &pt)
+			want, wantOK := present[target]
+			if ok != wantOK {
+				t.Fatalf("Find(%d) ok = %v, want %v", target, ok, wantOK)
+			}
+			if ok && !entryEq(got, want) {
+				t.Fatalf("Find(%d) = %+v, want %+v", target, got, want)
+			}
+		}
+	})
+}
+
+func entryEq(a, b Entry) bool {
+	if a.ID != b.ID || a.TF != b.TF || len(a.Cols) != len(b.Cols) {
+		return false
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,255 @@
+// Package postings implements the compact posting-list encoding of the
+// inverted index: one immutable block per term, holding (tuple ID, term
+// frequency, column set) entries sorted by interned tuple ID,
+// varint-delta-compressed with skip pointers for sub-linear seeks. Blocks
+// decode on iteration — no per-posting heap objects survive between queries
+// — and the byte layout is stable, so a future durable store can serialize
+// blocks directly.
+//
+// Entry layout (all varints): the first entry stores its tuple ID raw and
+// every later entry the strictly positive delta from its predecessor; then
+// the term frequency, the number of columns, and the column IDs as deltas of
+// a strictly ascending sequence (first raw). A skip pointer records the
+// tuple ID and byte offset of every skipInterval-th entry.
+package postings
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// skipInterval is the entry distance between two skip pointers: a Seek
+// decodes at most this many entries after the binary search.
+const skipInterval = 64
+
+// Entry is one decoded posting: the tuple a term occurs in, how often, and
+// the interned IDs of the columns containing it (strictly ascending).
+type Entry struct {
+	// ID is the interned tuple ID.
+	ID uint32
+	// TF is the term frequency within the tuple.
+	TF uint32
+	// Cols are the interned column IDs containing the term, ascending.
+	Cols []uint32
+}
+
+type skip struct {
+	id  uint32 // tuple ID of the entry at off
+	off uint32 // byte offset of the entry in data
+}
+
+// List is an immutable compressed posting list. The zero value is an empty
+// list. Lists are safe for concurrent iteration: all state lives in the
+// iterators.
+type List struct {
+	n     int
+	data  []byte
+	skips []skip
+}
+
+// Build encodes entries — which must be sorted by strictly ascending ID,
+// with strictly ascending column IDs inside each entry — into a list.
+// Invalid input panics: callers own the sort invariant.
+func Build(entries []Entry) *List {
+	l := &List{n: len(entries)}
+	if len(entries) == 0 {
+		return l
+	}
+	var buf [binary.MaxVarintLen32]byte
+	put := func(v uint32) {
+		n := binary.PutUvarint(buf[:], uint64(v))
+		l.data = append(l.data, buf[:n]...)
+	}
+	prev := uint32(0)
+	for i, e := range entries {
+		if i%skipInterval == 0 && i > 0 {
+			l.skips = append(l.skips, skip{id: e.ID, off: uint32(len(l.data))})
+		}
+		delta := e.ID - prev
+		if i > 0 && (e.ID <= prev) {
+			panic(fmt.Sprintf("postings: entries not strictly ascending at %d (%d after %d)", i, e.ID, prev))
+		}
+		put(delta)
+		put(e.TF)
+		put(uint32(len(e.Cols)))
+		pc := uint32(0)
+		for j, c := range e.Cols {
+			if j > 0 && c <= pc {
+				panic(fmt.Sprintf("postings: columns not strictly ascending in entry %d", i))
+			}
+			put(c - pc)
+			pc = c
+		}
+		prev = e.ID
+	}
+	return l
+}
+
+// Len returns the number of postings — the term's document frequency.
+func (l *List) Len() int {
+	if l == nil {
+		return 0
+	}
+	return l.n
+}
+
+// Bytes returns the size of the encoded entry stream in bytes.
+func (l *List) Bytes() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.data)
+}
+
+// Iter returns an iterator positioned before the first entry. The iterator
+// reuses cols as the column scratch buffer when it has capacity, so a caller
+// recycling iterators across queries decodes without allocating.
+func (l *List) Iter() Iterator {
+	var it Iterator
+	it.Reset(l)
+	return it
+}
+
+// Iterator decodes a list entry by entry. Copy-free: Cols aliases the
+// iterator's scratch buffer and is only valid until the next Next or Seek.
+type Iterator struct {
+	l    *List
+	pos  int    // entries consumed
+	off  int    // byte offset of the next entry
+	prev uint32 // ID of the last decoded entry
+
+	// Entry is the current posting, valid after Next or Seek return true.
+	Entry Entry
+}
+
+// Reset points the iterator at the start of l, keeping its scratch buffer.
+func (it *Iterator) Reset(l *List) {
+	it.l = l
+	it.pos = 0
+	it.off = 0
+	it.prev = 0
+	it.Entry.ID, it.Entry.TF = 0, 0
+	it.Entry.Cols = it.Entry.Cols[:0]
+}
+
+func (it *Iterator) uvarint() uint32 {
+	v, n := binary.Uvarint(it.l.data[it.off:])
+	it.off += n
+	return uint32(v)
+}
+
+// Next decodes the next entry into it.Entry, reporting false at the end.
+func (it *Iterator) Next() bool {
+	if it.l == nil || it.pos >= it.l.n {
+		return false
+	}
+	delta := it.uvarint()
+	if it.pos == 0 {
+		it.Entry.ID = delta
+	} else {
+		it.Entry.ID = it.prev + delta
+	}
+	it.prev = it.Entry.ID
+	it.Entry.TF = it.uvarint()
+	nc := int(it.uvarint())
+	cols := it.Entry.Cols[:0]
+	c := uint32(0)
+	for i := 0; i < nc; i++ {
+		c += it.uvarint()
+		cols = append(cols, c)
+	}
+	it.Entry.Cols = cols
+	it.pos++
+	return true
+}
+
+// Seek advances to the first entry with ID >= id, using the skip pointers to
+// jump, and reports whether one exists. Seeks must be monotone relative to
+// the iterator's current position or start from a fresh Reset; a seek behind
+// the current entry returns the current entry if it still satisfies the
+// bound, else scans forward.
+func (it *Iterator) Seek(id uint32) bool {
+	if it.l == nil {
+		return false
+	}
+	if it.pos > 0 && it.Entry.ID >= id {
+		return true
+	}
+	// Jump over skip pointers whose entry is still below the target. Skip k
+	// covers entry (k+1)*skipInterval; only jump forward.
+	skips := it.l.skips
+	lo, hi := 0, len(skips)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if skips[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// skips[lo-1] is the last pointer with id < target.
+	if lo > 0 {
+		if target := lo * skipInterval; target > it.pos {
+			s := skips[lo-1]
+			it.pos = target
+			it.off = int(s.off)
+			it.prev = s.id
+			// The entry at a skip pointer stores a delta from its
+			// predecessor, but its absolute ID is recorded in the pointer:
+			// decode it as "first entry" semantics by rewinding prev.
+			it.decodeAtSkip(s)
+			if it.Entry.ID >= id {
+				return true
+			}
+		}
+	}
+	for it.Next() {
+		if it.Entry.ID >= id {
+			return true
+		}
+	}
+	return false
+}
+
+// decodeAtSkip decodes the entry a skip pointer addresses. The stored delta
+// is relative to the previous entry, which the pointer skipped — but the
+// pointer records the entry's absolute ID, so the delta is discarded.
+func (it *Iterator) decodeAtSkip(s skip) {
+	it.uvarint() // delta, superseded by s.id
+	it.Entry.ID = s.id
+	it.prev = s.id
+	it.Entry.TF = it.uvarint()
+	nc := int(it.uvarint())
+	cols := it.Entry.Cols[:0]
+	c := uint32(0)
+	for i := 0; i < nc; i++ {
+		c += it.uvarint()
+		cols = append(cols, c)
+	}
+	it.Entry.Cols = cols
+	// pos was set to the skip target before the decode consumed the entry.
+	it.pos++
+}
+
+// Find decodes the entry with the exact ID, reporting whether it exists.
+// It is a point lookup: skip-jump then a bounded scan.
+func (l *List) Find(id uint32, it *Iterator) (Entry, bool) {
+	it.Reset(l)
+	if !it.Seek(id) || it.Entry.ID != id {
+		return Entry{}, false
+	}
+	return it.Entry, true
+}
+
+// Decode appends every entry to dst (column slices are copied) and returns
+// it; useful for the incremental-maintenance path that rewrites a term's
+// list, and for tests.
+func (l *List) Decode(dst []Entry) []Entry {
+	it := l.Iter()
+	for it.Next() {
+		e := it.Entry
+		e.Cols = append([]uint32(nil), e.Cols...)
+		dst = append(dst, e)
+	}
+	return dst
+}

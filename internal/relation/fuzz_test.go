@@ -30,11 +30,11 @@ func FuzzLoadCSV(f *testing.F) {
 		"ID\n",
 		"",
 		"ID,NAME\nd1,\"quoted, comma\"\n",
-		"ID,NAME\nd1,cs\nd1,dup\n",           // duplicate primary key
-		"NOPE\nx\n",                          // unknown column
-		"ID,N\nd1,notanumber\n",              // type error
-		"ID,NAME\n\"unterminated,cs\n",       // malformed csv
-		"ID,NAME,N,NOTES\nd1,cs,,\n",         // NULLs
+		"ID,NAME\nd1,cs\nd1,dup\n",            // duplicate primary key
+		"NOPE\nx\n",                           // unknown column
+		"ID,N\nd1,notanumber\n",               // type error
+		"ID,NAME\n\"unterminated,cs\n",        // malformed csv
+		"ID,NAME,N,NOTES\nd1,cs,,\n",          // NULLs
 		"ID,NAME\nd1\nd2,b,extra,even,more\n", // ragged rows
 	}
 	for _, s := range seeds {

@@ -5,6 +5,13 @@
 // answer tree assembled from the shortest paths back to the nearest match of
 // each keyword. Trees are ranked by their total number of edges (smaller is
 // better), which is the length-based ranking the paper critiques.
+//
+// Expansions run in the interned space: distances and back pointers are
+// dense arrays indexed by uint32 tuple ID, recycled across queries via
+// sync.Pool, and only the trees that survive root selection are rendered to
+// the string space. Expansion seeds and neighbor iteration follow the
+// string-space orders, so answers are identical to the pre-interning
+// implementation.
 package banks
 
 import (
@@ -12,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/datagraph"
@@ -114,7 +122,9 @@ func New(db *relation.Database, opts Options) (*Engine, error) {
 	return &Engine{db: db, graph: datagraph.Build(db), index: index.Build(db), opts: opts}, nil
 }
 
-// NewWithComponents builds an engine from pre-built components.
+// NewWithComponents builds an engine from pre-built components. The graph
+// and index must be of the same generation, so their dense tuple-ID spaces
+// agree.
 func NewWithComponents(db *relation.Database, g *datagraph.Graph, idx *index.Index, opts Options) (*Engine, error) {
 	if db == nil || g == nil || idx == nil {
 		return nil, fmt.Errorf("banks: nil component")
@@ -132,58 +142,88 @@ func applyDefaults(opts *Options) {
 	}
 }
 
-// expansion is the result of one keyword's multi-source BFS: the hop
-// distance of every reached tuple and the edge leading one hop back towards
-// the nearest keyword match.
+// unreached marks a tuple not reached by an expansion.
+const unreached = int32(-1)
+
+// expansion is the result of one keyword's multi-source BFS in the dense
+// space: per dense tuple ID, the hop distance (unreached for tuples the
+// expansion never saw) and the adjacency entry leading one hop back towards
+// the nearest keyword match. The arrays are recycled across queries.
 type expansion struct {
-	dist map[relation.TupleID]int
-	back map[relation.TupleID]datagraph.Edge
+	dist    []int32
+	back    []datagraph.DenseEdge
+	queue   []uint32
+	reached int
 }
 
-func (e *Engine) expand(ctx context.Context, matches []relation.TupleID, maxDepth int) (expansion, error) {
-	ex := expansion{
-		dist: make(map[relation.TupleID]int),
-		back: make(map[relation.TupleID]datagraph.Edge),
+var expansionPool = sync.Pool{New: func() any { return &expansion{} }}
+
+// getExpansion returns a pooled expansion reset for an ID space of size n.
+func getExpansion(n int) *expansion {
+	ex := expansionPool.Get().(*expansion)
+	if cap(ex.dist) < n {
+		ex.dist = make([]int32, n)
+		ex.back = make([]datagraph.DenseEdge, n)
 	}
-	queue := make([]relation.TupleID, 0, len(matches))
+	ex.dist = ex.dist[:n]
+	ex.back = ex.back[:n]
+	for i := range ex.dist {
+		ex.dist[i] = unreached
+	}
+	ex.queue = ex.queue[:0]
+	ex.reached = 0
+	return ex
+}
+
+func putExpansion(ex *expansion) { expansionPool.Put(ex) }
+
+// expand runs one keyword's multi-source BFS. Seeds must arrive in the
+// string-space tuple order and neighbors are visited in the sorted adjacency
+// order, so the first-discovery back pointers — and therefore the answer
+// trees — are independent of the dense ID assignment.
+func (e *Engine) expand(ctx context.Context, matches []uint32, maxDepth int) (*expansion, error) {
+	ex := getExpansion(e.graph.NumIDs())
 	for _, m := range matches {
 		ex.dist[m] = 0
-		queue = append(queue, m)
+		ex.reached++
+		ex.queue = append(ex.queue, m)
 	}
-	for len(queue) > 0 {
+	for head := 0; head < len(ex.queue); head++ {
 		if err := ctx.Err(); err != nil {
-			return expansion{}, err
+			putExpansion(ex)
+			return nil, err
 		}
-		cur := queue[0]
-		queue = queue[1:]
-		if ex.dist[cur] >= maxDepth {
+		cur := ex.queue[head]
+		if ex.dist[cur] >= int32(maxDepth) {
 			continue
 		}
-		for _, edge := range e.graph.Neighbors(cur) {
-			if _, seen := ex.dist[edge.To]; seen {
+		for _, edge := range e.graph.NeighborsID(cur) {
+			if ex.dist[edge.To] != unreached {
 				continue
 			}
 			ex.dist[edge.To] = ex.dist[cur] + 1
+			ex.reached++
 			// The back edge points from the newly reached tuple towards
 			// the keyword match.
-			ex.back[edge.To] = edge.Reverse()
-			queue = append(queue, edge.To)
+			ex.back[edge.To] = datagraph.DenseEdge{To: cur, FK: edge.FK}
+			ex.queue = append(ex.queue, edge.To)
 		}
 	}
 	return ex, nil
 }
 
 // pathToMatch follows the back pointers of an expansion from the root down
-// to the keyword match it was reached from.
-func pathToMatch(ex expansion, root relation.TupleID) ([]datagraph.Edge, relation.TupleID) {
+// to the keyword match it was reached from, rendering the edges to the
+// string space.
+func (e *Engine) pathToMatch(ex *expansion, root uint32) []datagraph.Edge {
 	var edges []datagraph.Edge
 	cur := root
 	for ex.dist[cur] > 0 {
-		e := ex.back[cur]
-		edges = append(edges, e)
-		cur = e.To
+		be := ex.back[cur]
+		edges = append(edges, e.graph.EdgeOf(cur, be))
+		cur = be.To
 	}
-	return edges, cur
+	return edges
 }
 
 // Search runs the backward expanding search and returns up to MaxResults
@@ -205,19 +245,23 @@ func (e *Engine) SearchContext(ctx context.Context, keywords []string, opts Opti
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	matches := make(map[string][]relation.TupleID, len(keywords))
-	tupleKeywords := make(map[relation.TupleID][]string)
+	tuples := e.graph.Tuples()
+	matches := make(map[string][]uint32, len(keywords))
+	tupleKeywords := make(map[uint32][]string)
 	for _, kw := range keywords {
-		set := e.index.KeywordTuples(kw)
-		if len(set) == 0 {
+		if _, dup := matches[kw]; dup {
+			continue
+		}
+		ids := e.index.MatchIDs(kw)
+		if len(ids) == 0 {
 			return nil, fmt.Errorf("banks: keyword %q matches no tuple", kw)
 		}
-		ids := make([]relation.TupleID, 0, len(set))
-		for id := range set {
-			ids = append(ids, id)
+		for _, id := range ids {
 			tupleKeywords[id] = append(tupleKeywords[id], kw)
 		}
-		relation.SortTupleIDs(ids)
+		// Seed order is the string-space tuple order, for back-pointer
+		// determinism independent of the ID assignment.
+		sort.Slice(ids, func(a, b int) bool { return tuples.Less(ids[a], ids[b]) })
 		matches[kw] = ids
 	}
 	for _, kws := range tupleKeywords {
@@ -234,42 +278,56 @@ func (e *Engine) SearchContext(ctx context.Context, keywords []string, opts Opti
 			kwOrder = append(kwOrder, kw)
 		}
 	}
-	expanded, err := parallel.Map(ctx, opts.Parallelism, len(kwOrder), func(ctx context.Context, i int) (expansion, error) {
+	expanded, err := parallel.Map(ctx, opts.Parallelism, len(kwOrder), func(ctx context.Context, i int) (*expansion, error) {
 		return e.expand(ctx, matches[kwOrder[i]], opts.MaxDepth)
 	})
 	if err != nil {
+		for _, ex := range expanded {
+			if ex != nil {
+				putExpansion(ex)
+			}
+		}
 		return nil, err
 	}
-	expansions := make(map[string]expansion, len(kwOrder))
+	defer func() {
+		for _, ex := range expanded {
+			putExpansion(ex)
+		}
+	}()
+	expansions := make(map[string]*expansion, len(kwOrder))
 	for i, kw := range kwOrder {
 		expansions[kw] = expanded[i]
 	}
 
-	// Candidate roots: tuples reached by every keyword's expansion. Iterate
-	// the smallest expansion and intersect with the others — scanning every
-	// tuple of the database (graph.Nodes) rescans the whole graph per query.
+	// Candidate roots: tuples reached by every keyword's expansion. Scan the
+	// smallest expansion's distance column and intersect with the others —
+	// array probes, no hashing.
 	smallest := kwOrder[0]
 	for _, kw := range kwOrder[1:] {
-		if len(expansions[kw].dist) < len(expansions[smallest].dist) {
+		if expansions[kw].reached < expansions[smallest].reached {
 			smallest = kw
 		}
 	}
 	type scored struct {
-		root relation.TupleID
+		root uint32
 		// weight is the distance sum, an upper bound on the tree weight;
 		// maxDist is the largest single distance, a lower bound on it.
-		weight, maxDist int
+		weight, maxDist int32
 	}
 	var roots []scored
-	for root, d0 := range expansions[smallest].dist {
+	smallestDist := expansions[smallest].dist
+	for root, d0 := range smallestDist {
+		if d0 == unreached {
+			continue
+		}
 		total, maxd := d0, d0
 		ok := true
 		for _, kw := range kwOrder {
 			if kw == smallest {
 				continue
 			}
-			d, reached := expansions[kw].dist[root]
-			if !reached {
+			d := expansions[kw].dist[root]
+			if d == unreached {
 				ok = false
 				break
 			}
@@ -279,14 +337,14 @@ func (e *Engine) SearchContext(ctx context.Context, keywords []string, opts Opti
 			}
 		}
 		if ok {
-			roots = append(roots, scored{root: root, weight: total, maxDist: maxd})
+			roots = append(roots, scored{root: uint32(root), weight: total, maxDist: maxd})
 		}
 	}
 	sort.Slice(roots, func(i, j int) bool {
 		if roots[i].weight != roots[j].weight {
 			return roots[i].weight < roots[j].weight
 		}
-		return roots[i].root.Less(roots[j].root)
+		return tuples.Less(roots[i].root, roots[j].root)
 	})
 
 	// Build a tree per candidate root, deduplicate by content, and order by
@@ -306,12 +364,12 @@ func (e *Engine) SearchContext(ctx context.Context, keywords []string, opts Opti
 		}
 		if len(kept) >= opts.MaxResults {
 			cut := kept[opts.MaxResults-1]
-			if cand.weight > cut*len(kwOrder) {
+			if int(cand.weight) > cut*len(kwOrder) {
 				// Distance sums only grow from here, so every remaining
 				// candidate's lower bound (sum / #keywords) exceeds the cut.
 				break
 			}
-			if cand.maxDist > cut {
+			if int(cand.maxDist) > cut {
 				continue
 			}
 		}
@@ -360,17 +418,21 @@ func (e *Engine) Stream(ctx context.Context, keywords []string, opts Options, yi
 	return nil
 }
 
-func (e *Engine) buildTree(root relation.TupleID, keywords []string, expansions map[string]expansion, tupleKeywords map[relation.TupleID][]string) Tree {
+// buildTree assembles the string-space answer for one surviving root: the
+// per-keyword back paths, the distinct node and edge sets, and the weight.
+func (e *Engine) buildTree(root uint32, keywords []string, expansions map[string]*expansion, tupleKeywords map[uint32][]string) Tree {
+	tuples := e.graph.Tuples()
+	rootID := tuples.ID(root)
 	t := Tree{
-		Root:         root,
+		Root:         rootID,
 		KeywordPaths: make(map[string]core.Connection, len(keywords)),
 		Matches:      make(map[relation.TupleID][]string),
 	}
-	nodeSet := map[relation.TupleID]bool{root: true}
+	nodeSet := map[relation.TupleID]bool{rootID: true}
 	edgeSet := make(map[string]datagraph.Edge)
 	for _, kw := range keywords {
-		edges, _ := pathToMatch(expansions[kw], root)
-		c, err := core.NewConnection(root, edges)
+		edges := e.pathToMatch(expansions[kw], root)
+		c, err := core.NewConnection(rootID, edges)
 		if err != nil {
 			continue
 		}
@@ -389,8 +451,10 @@ func (e *Engine) buildTree(root relation.TupleID, keywords []string, expansions 
 	}
 	for n := range nodeSet {
 		t.Nodes = append(t.Nodes, n)
-		if kws := tupleKeywords[n]; len(kws) > 0 {
-			t.Matches[n] = append([]string(nil), kws...)
+		if dense, ok := tuples.Lookup(n); ok {
+			if kws := tupleKeywords[dense]; len(kws) > 0 {
+				t.Matches[n] = append([]string(nil), kws...)
+			}
 		}
 	}
 	relation.SortTupleIDs(t.Nodes)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/relation"
 	"repro/internal/schemagraph"
+	"repro/internal/symtab"
 )
 
 // Options configure the engine.
@@ -220,35 +221,30 @@ func (e *Engine) Stream(ctx context.Context, keywords []string, opts Options, yi
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	keywordTuples := make(map[string]map[relation.TupleID]bool, len(keywords))
-	tupleKeywords := make(map[relation.TupleID][]string)
-	for _, kw := range keywords {
-		set := e.index.KeywordTuples(kw)
-		if len(set) == 0 {
-			return fmt.Errorf("mtjnt: keyword %q matches no tuple", kw)
-		}
-		keywordTuples[kw] = set
-		for id := range set {
-			tupleKeywords[id] = append(tupleKeywords[id], kw)
-		}
-	}
-	for _, kws := range tupleKeywords {
-		sort.Strings(kws)
+	q, err := e.resolve(keywords)
+	if err != nil {
+		return err
 	}
 
 	emitted := 0
 	seen := make(map[string]bool)
-	add := func(c core.Connection) error {
-		if seen[c.Key()] {
+	var keyBuf []byte
+	// Candidates arrive as dense paths; they are deduplicated and checked for
+	// minimal totality in the interned space and rendered to the string space
+	// only when they become answers.
+	add := func(p core.DensePath) error {
+		keyBuf = p.AppendCanonicalKey(keyBuf[:0])
+		if seen[string(keyBuf)] {
 			return nil
 		}
-		seen[c.Key()] = true
-		if !IsMinimalTotal(e.graph, c, keywordTuples, keywords) {
+		seen[string(keyBuf)] = true
+		if !e.isMinimalTotalIDs(p.Nodes, q) {
 			return nil
 		}
+		c := p.Connection(e.graph)
 		matches := make(map[relation.TupleID][]string)
-		for _, t := range c.Tuples {
-			if kws := tupleKeywords[t]; len(kws) > 0 {
+		for i, t := range c.Tuples {
+			if kws := q.tupleKeywords[p.Nodes[i]]; len(kws) > 0 {
 				matches[t] = append([]string(nil), kws...)
 			}
 		}
@@ -262,32 +258,92 @@ func (e *Engine) Stream(ctx context.Context, keywords []string, opts Options, yi
 		return nil
 	}
 
-	err := e.walkCandidates(ctx, keywords, keywordTuples, tupleKeywords, opts, add)
+	err = e.walkCandidates(ctx, keywords, q, opts, add)
 	if err == errStopStream {
 		return nil
 	}
 	return err
 }
 
-// walkCandidates feeds every candidate connection of the query to add.
-func (e *Engine) walkCandidates(ctx context.Context, keywords []string, keywordTuples map[string]map[relation.TupleID]bool, tupleKeywords map[relation.TupleID][]string, opts Options, add func(core.Connection) error) error {
-	// Single tuples covering the whole query.
-	for _, id := range sortedIDs(tupleKeywords) {
-		if len(tupleKeywords[id]) == len(keywords) {
-			if c, err := core.NewConnection(id, nil); err == nil {
-				if err := add(c); err != nil {
-					return err
-				}
+// query is the resolved, interned form of a keyword query: per distinct
+// keyword the dense match IDs in string-space order and a bitset over the
+// generation's ID space, plus the reverse tuple-to-keywords map.
+type query struct {
+	// matchLess maps each distinct keyword to its dense matches, sorted by
+	// the string-space tuple order.
+	matchLess map[string][]uint32
+	// bits maps each distinct keyword to the set of its dense matches.
+	bits map[string]*symtab.Bitset
+	// tupleKeywords maps each matching dense ID to its keywords, sorted —
+	// with one entry per query occurrence, so duplicate query keywords count
+	// double here exactly as they do in len(keywords).
+	tupleKeywords map[uint32][]string
+}
+
+// resolve interns the query: one index probe per distinct keyword, an error
+// if any keyword matches nothing.
+func (e *Engine) resolve(keywords []string) (*query, error) {
+	tuples := e.graph.Tuples()
+	q := &query{
+		matchLess:     make(map[string][]uint32, len(keywords)),
+		bits:          make(map[string]*symtab.Bitset, len(keywords)),
+		tupleKeywords: make(map[uint32][]string),
+	}
+	for _, kw := range keywords {
+		if ids, done := q.matchLess[kw]; done {
+			// Duplicate query keyword: repeat the reverse-map entries so the
+			// per-tuple keyword counts line up with len(keywords).
+			for _, id := range ids {
+				q.tupleKeywords[id] = append(q.tupleKeywords[id], kw)
 			}
+			continue
+		}
+		ids := e.index.MatchIDs(kw)
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("mtjnt: keyword %q matches no tuple", kw)
+		}
+		bits := &symtab.Bitset{}
+		bits.Grow(e.graph.NumIDs())
+		for _, id := range ids {
+			bits.Add(id)
+			q.tupleKeywords[id] = append(q.tupleKeywords[id], kw)
+		}
+		sort.Slice(ids, func(a, b int) bool { return tuples.Less(ids[a], ids[b]) })
+		q.matchLess[kw] = ids
+		q.bits[kw] = bits
+	}
+	for _, kws := range q.tupleKeywords {
+		sort.Strings(kws)
+	}
+	return q, nil
+}
+
+// walkCandidates feeds every candidate dense path of the query to add.
+func (e *Engine) walkCandidates(ctx context.Context, keywords []string, q *query, opts Options, add func(core.DensePath) error) error {
+	tuples := e.graph.Tuples()
+	// Single tuples covering the whole query, in string-space order.
+	var singles []uint32
+	for id, kws := range q.tupleKeywords {
+		if len(kws) == len(keywords) {
+			singles = append(singles, id)
 		}
 	}
-	// Paths between tuples matching different keywords.
+	sort.Slice(singles, func(a, b int) bool { return tuples.Less(singles[a], singles[b]) })
+	var one [1]uint32
+	for _, id := range singles {
+		one[0] = id
+		if err := add(core.DensePath{Nodes: one[:]}); err != nil {
+			return err
+		}
+	}
+	// Paths between tuples matching different keywords (or distinct tuples of
+	// a keyword the query names twice).
 	ordered := append([]string(nil), keywords...)
 	sort.Strings(ordered)
 	for i := 0; i < len(ordered); i++ {
 		for j := i + 1; j < len(ordered); j++ {
-			for _, from := range sortedIDs(keywordTuples[ordered[i]]) {
-				for _, to := range sortedIDs(keywordTuples[ordered[j]]) {
+			for _, from := range q.matchLess[ordered[i]] {
+				for _, to := range q.matchLess[ordered[j]] {
 					if err := ctx.Err(); err != nil {
 						return err
 					}
@@ -295,8 +351,8 @@ func (e *Engine) walkCandidates(ctx context.Context, keywords []string, keywordT
 						continue
 					}
 					var addErr error
-					walkErr := core.WalkConnections(ctx, e.graph, from, to, opts.MaxEdges, func(c core.Connection) bool {
-						addErr = add(c)
+					walkErr := core.WalkConnectionsIDs(ctx, e.graph, from, to, opts.MaxEdges, func(p core.DensePath) bool {
+						addErr = add(p)
 						return addErr == nil
 					})
 					if addErr != nil {
@@ -310,6 +366,79 @@ func (e *Engine) walkCandidates(ctx context.Context, keywords []string, keywordT
 		}
 	}
 	return nil
+}
+
+// isMinimalTotalIDs is IsMinimalTotal in the interned space: totality is a
+// bitset probe per keyword and connectivity a BFS over the dense adjacency
+// restricted to the candidate's handful of nodes.
+func (e *Engine) isMinimalTotalIDs(nodes []uint32, q *query) bool {
+	if len(nodes) == 0 {
+		return false
+	}
+	if !e.isTotalIDs(nodes, q) {
+		return false
+	}
+	if len(nodes) == 1 {
+		return true
+	}
+	rest := make([]uint32, 0, len(nodes)-1)
+	for removed := range nodes {
+		rest = rest[:0]
+		for i, n := range nodes {
+			if i != removed {
+				rest = append(rest, n)
+			}
+		}
+		if e.isTotalIDs(rest, q) && e.inducedConnectedIDs(rest) {
+			return false
+		}
+	}
+	return true
+}
+
+// isTotalIDs reports whether the dense node set covers every query keyword.
+func (e *Engine) isTotalIDs(nodes []uint32, q *query) bool {
+	for _, bits := range q.bits {
+		covered := false
+		for _, n := range nodes {
+			if bits.Has(n) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// inducedConnectedIDs reports whether the dense node set is connected in the
+// subgraph of the data graph induced by it. Candidate sets are at most
+// MaxEdges+1 nodes, so membership is a linear scan.
+func (e *Engine) inducedConnectedIDs(nodes []uint32) bool {
+	n := len(nodes)
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	seen[0] = true
+	reached := 1
+	queue := make([]uint32, 1, n)
+	queue[0] = nodes[0]
+	for head := 0; head < len(queue); head++ {
+		for _, e2 := range e.graph.NeighborsID(queue[head]) {
+			for i, m := range nodes {
+				if m == e2.To && !seen[i] {
+					seen[i] = true
+					reached++
+					queue = append(queue, m)
+					break
+				}
+			}
+		}
+	}
+	return reached == n
 }
 
 // CandidateNetworks generates DISCOVER's schema-level candidate networks for
@@ -384,15 +513,6 @@ func (e *Engine) CandidateNetworks(keywords []string, maxEdges int) ([]Candidate
 		return out[i].String() < out[j].String()
 	})
 	return out, nil
-}
-
-func sortedIDs[V any](set map[relation.TupleID]V) []relation.TupleID {
-	out := make([]relation.TupleID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
-	}
-	relation.SortTupleIDs(out)
-	return out
 }
 
 func reverseStrings(in []string) []string {

@@ -4,6 +4,13 @@
 // different keywords up to a join budget, so that longer, information-richer
 // connections such as the paper's connections 3, 4, 6 and 7 are preserved
 // and can be ranked by their conceptual length and closeness.
+//
+// The enumeration runs in the interned space of internal/symtab: keyword
+// match sets are dense uint32 lists, walks and deduplication operate on
+// dense paths with pooled scratch, and only the connections that survive
+// dedup and coverage are rendered to the string space for annotation. The
+// emitted answer sequence is identical to the pre-interning implementation:
+// every ordering below is defined by string-space comparators.
 package paths
 
 import (
@@ -18,6 +25,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/parallel"
 	"repro/internal/relation"
+	"repro/internal/symtab"
 )
 
 // Options configure the engine.
@@ -100,17 +108,20 @@ func New(db *relation.Database, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	tuples := symtab.ForDatabase(db)
 	return &Engine{
 		db:       db,
-		graph:    datagraph.Build(db),
-		index:    index.Build(db),
+		graph:    datagraph.BuildParallelWith(db, tuples, 0),
+		index:    index.BuildParallelWith(db, tuples, 0),
 		analyzer: analyzer,
 		opts:     opts,
 	}, nil
 }
 
 // NewWithComponents builds an engine from pre-built components, so that the
-// graph, index and analyzer can be shared with other engines.
+// graph, index and analyzer can be shared with other engines. The graph and
+// index must be of the same generation (built or maintained from the same
+// database states), so their dense tuple-ID spaces agree.
 func NewWithComponents(db *relation.Database, g *datagraph.Graph, idx *index.Index, analyzer *core.Analyzer, opts Options) (*Engine, error) {
 	if db == nil || g == nil || idx == nil || analyzer == nil {
 		return nil, fmt.Errorf("paths: nil component")
@@ -162,6 +173,56 @@ func (e *Engine) SearchContext(ctx context.Context, keywords []string, opts Opti
 // errStopStream unwinds an enumeration stopped by a yield returning false.
 var errStopStream = errors.New("paths: stream stopped")
 
+// query is the resolved, interned form of one keyword query: per-keyword
+// match sets as dense ID lists and bitsets, the per-tuple keyword lists for
+// answer annotation, and a pool of content scorers shared by the annotation
+// workers.
+type query struct {
+	keywords []string
+	// matchLess maps each distinct keyword to its matching dense IDs sorted
+	// in the string-space tuple order — the enumeration order of sources.
+	matchLess map[string][]uint32
+	// bits[i] is the match set of keywords[i] (duplicates share a bitset).
+	bits []*symtab.Bitset
+	// tupleKeywords lists, per matching dense tuple ID, the query keywords
+	// it matches in query order.
+	tupleKeywords map[uint32][]string
+	scorers       sync.Pool
+}
+
+// resolve interns the keyword query against the engine's index and graph.
+func (e *Engine) resolve(keywords []string) *query {
+	q := &query{
+		keywords:      keywords,
+		matchLess:     make(map[string][]uint32, len(keywords)),
+		bits:          make([]*symtab.Bitset, len(keywords)),
+		tupleKeywords: make(map[uint32][]string),
+	}
+	q.scorers.New = func() any { return e.index.NewScorer(keywords) }
+	tuples := e.graph.Tuples()
+	byKw := make(map[string]*symtab.Bitset, len(keywords))
+	for i, kw := range keywords {
+		if bits, ok := byKw[kw]; ok {
+			q.bits[i] = bits // duplicate keyword: same match set
+			continue
+		}
+		ids := e.index.MatchIDs(kw)
+		for _, id := range ids {
+			q.tupleKeywords[id] = appendUnique(q.tupleKeywords[id], kw)
+		}
+		bits := &symtab.Bitset{}
+		bits.Grow(e.graph.NumIDs())
+		for _, id := range ids {
+			bits.Add(id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return tuples.Less(ids[a], ids[b]) })
+		q.matchLess[kw] = ids
+		byKw[kw] = bits
+		q.bits[i] = bits
+	}
+	return q
+}
+
 // Stream enumerates the answers of the keyword query and hands each one to
 // yield as soon as it is built, in discovery order (no global sort): the
 // first answers arrive while the enumeration is still running. The stream
@@ -184,38 +245,24 @@ func (e *Engine) Stream(ctx context.Context, keywords []string, opts Options, yi
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	matches := e.index.MatchAll(keywords)
-	keywordTuples := make(map[string]map[relation.TupleID]bool, len(keywords))
-	tupleKeywords := make(map[relation.TupleID][]string)
-	// Iterate the query's keyword order, not the matches map: per-tuple
-	// keyword lists (and therefore the rendered answers) must not depend on
-	// map iteration order when one tuple matches several keywords.
-	for _, kw := range keywords {
-		ms := matches[kw]
-		set := make(map[relation.TupleID]bool, len(ms))
-		for _, m := range ms {
-			set[m.Tuple] = true
-			tupleKeywords[m.Tuple] = appendUnique(tupleKeywords[m.Tuple], kw)
-		}
-		keywordTuples[kw] = set
-	}
+	q := e.resolve(keywords)
 	if opts.RequireAllKeywords {
 		for _, kw := range keywords {
-			if len(keywordTuples[kw]) == 0 {
+			if len(q.matchLess[kw]) == 0 {
 				return fmt.Errorf("paths: keyword %q matches no tuple", kw)
 			}
 		}
 	}
 
 	if workers := parallel.Workers(opts.Parallelism, 0); workers > 1 {
-		return e.streamPipelined(ctx, keywords, keywordTuples, tupleKeywords, opts, workers, yield)
+		return e.streamPipelined(ctx, q, opts, workers, yield)
 	}
 
 	emitted := 0
 	// emit builds the answer for a deduplicated, covering connection and
 	// yields it; a non-nil return aborts the whole enumeration.
 	emit := func(c core.Connection) error {
-		ans, err := e.buildAnswer(ctx, c, tupleKeywords, keywords, opts)
+		ans, err := e.buildAnswer(ctx, c, q, opts)
 		if err != nil {
 			return err
 		}
@@ -229,7 +276,7 @@ func (e *Engine) Stream(ctx context.Context, keywords []string, opts Options, yi
 		return nil
 	}
 
-	err := e.walkConnections(ctx, keywords, keywordTuples, opts, emit)
+	err := e.walkConnections(ctx, q, opts, emit)
 	if err == errStopStream {
 		return nil
 	}
@@ -243,18 +290,18 @@ func (e *Engine) Stream(ctx context.Context, keywords []string, opts Options, yi
 // goroutine — drains the answers in exact submission order and yields them,
 // so the emitted sequence is byte-identical to the sequential walk at any
 // worker count.
-func (e *Engine) streamPipelined(ctx context.Context, keywords []string, keywordTuples map[string]map[relation.TupleID]bool, tupleKeywords map[relation.TupleID][]string, opts Options, workers int, yield func(Answer) bool) error {
+func (e *Engine) streamPipelined(ctx context.Context, q *query, opts Options, workers int, yield func(Answer) bool) error {
 	pctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	stage := parallel.NewOrdered(pctx, workers, 2*workers, func(ctx context.Context, c core.Connection) (Answer, error) {
-		return e.buildAnswer(ctx, c, tupleKeywords, keywords, opts)
+		return e.buildAnswer(ctx, c, q, opts)
 	})
 	defer stage.Stop()
 
 	var submitted int // owned by the walk goroutine until walkDone delivers
 	walkDone := make(chan error, 1)
 	go func() {
-		err := e.walkConnections(pctx, keywords, keywordTuples, opts, func(c core.Connection) error {
+		err := e.walkConnections(pctx, q, opts, func(c core.Connection) error {
 			if err := stage.Submit(c); err != nil {
 				return err
 			}
@@ -313,36 +360,40 @@ func isContextError(err error) bool {
 // walkConnections drives the deduplicated enumeration of covering
 // connections, invoking emit for each one. The per-source walks fan out
 // across a bounded worker pool (Options.Parallelism); deduplication,
-// coverage checks and emission happen on the consuming goroutine in the
-// sequential task order, so the emitted sequence is identical for any
-// worker count. Under streamPipelined this consumer is stage one of the
-// annotation pipeline and emit hands connections to the ordered pool.
-func (e *Engine) walkConnections(ctx context.Context, keywords []string, keywordTuples map[string]map[relation.TupleID]bool, opts Options, emit func(core.Connection) error) error {
+// coverage checks and conversion to the string space happen on the consuming
+// goroutine in the sequential task order, so the emitted sequence is
+// identical for any worker count. Only connections that survive dedup and
+// coverage are rendered — everything before that point stays in the dense
+// space. Under streamPipelined this consumer is stage one of the annotation
+// pipeline and emit hands connections to the ordered pool.
+func (e *Engine) walkConnections(ctx context.Context, q *query, opts Options, emit func(core.Connection) error) error {
 	seen := make(map[string]bool)
+	var keyBuf []byte
 	// process applies the order-sensitive tail of the enumeration — global
-	// dedup, coverage, emission — and must only run on one goroutine.
-	process := func(c core.Connection) error {
-		if seen[c.Key()] {
+	// dedup, coverage, emission — and must only run on one goroutine. The
+	// dedup key is the canonical dense encoding of the path, equivalent to
+	// (but far cheaper than) Connection.Key within one generation.
+	process := func(p core.DensePath) error {
+		keyBuf = p.AppendCanonicalKey(keyBuf[:0])
+		if seen[string(keyBuf)] {
 			return nil
 		}
-		seen[c.Key()] = true
-		if !e.covers(c, keywordTuples, keywords, opts) {
+		seen[string(keyBuf)] = true
+		if !e.covers(p, q, opts) {
 			return nil
 		}
-		return emit(c)
+		return emit(p.Connection(e.graph))
 	}
 
-	if len(keywords) == 1 {
+	if len(q.keywords) == 1 {
 		// Single-keyword queries: each matching tuple is an answer.
-		for _, id := range sortedIDs(keywordTuples[keywords[0]]) {
+		var one [1]uint32
+		for _, id := range q.matchLess[q.keywords[0]] {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			c, err := core.NewConnection(id, nil)
-			if err != nil {
-				continue
-			}
-			if err := process(c); err != nil {
+			one[0] = id
+			if err := process(core.DensePath{Nodes: one[:]}); err != nil {
 				return err
 			}
 		}
@@ -352,14 +403,15 @@ func (e *Engine) walkConnections(ctx context.Context, keywords []string, keyword
 	// Enumerate connections between tuples matching different keywords, one
 	// task per (from, to) source pair, in deterministic order. Pairs are
 	// generated lazily — the cross-product of large match sets would be an
-	// expensive slice to materialize — from per-keyword sorted ID lists.
-	type pair struct{ from, to relation.TupleID }
-	ordered := append([]string(nil), keywords...)
+	// expensive slice to materialize — from per-keyword ID lists sorted in
+	// the string-space tuple order.
+	type pair struct{ from, to uint32 }
+	ordered := append([]string(nil), q.keywords...)
 	sort.Strings(ordered)
-	ids := make([][]relation.TupleID, len(ordered))
+	ids := make([][]uint32, len(ordered))
 	taskCount := 0
 	for i := range ordered {
-		ids[i] = sortedIDs(keywordTuples[ordered[i]])
+		ids[i] = q.matchLess[ordered[i]]
 	}
 	for i := 0; i < len(ordered); i++ {
 		for j := i + 1; j < len(ordered); j++ {
@@ -390,8 +442,8 @@ func (e *Engine) walkConnections(ctx context.Context, keywords []string, keyword
 				return err
 			}
 			var procErr error
-			walkErr := e.walkPair(ctx, t.from, t.to, opts, func(c core.Connection) bool {
-				procErr = process(c)
+			walkErr := e.walkPair(ctx, t.from, t.to, opts, func(p core.DensePath) bool {
+				procErr = process(p)
 				return procErr == nil
 			})
 			if procErr != nil {
@@ -406,9 +458,10 @@ func (e *Engine) walkConnections(ctx context.Context, keywords []string, keyword
 	// unfinished task always owns a slot — and hands the consumer a stream
 	// per task in that same order. Workers block once their stream buffer
 	// fills, bounding memory; the consumer drains stream after stream,
-	// running process on each connection.
+	// running process on each path. Streams carry cloned dense paths — two
+	// uint32 slices per connection — instead of rendered string connections.
 	type stream struct {
-		ch  chan core.Connection
+		ch  chan core.DensePath
 		err error // valid once ch is closed
 	}
 	gctx, cancel := context.WithCancel(ctx)
@@ -433,7 +486,7 @@ func (e *Engine) walkConnections(ctx context.Context, keywords []string, keyword
 			case <-gctx.Done():
 				return gctx.Err()
 			}
-			st := &stream{ch: make(chan core.Connection, 64)}
+			st := &stream{ch: make(chan core.DensePath, 64)}
 			select {
 			case streams <- st:
 			case <-gctx.Done():
@@ -446,9 +499,9 @@ func (e *Engine) walkConnections(ctx context.Context, keywords []string, keyword
 				defer func() { <-sem }()
 				defer close(st.ch)
 				truncated := false
-				walkErr := e.walkPair(gctx, t.from, t.to, opts, func(c core.Connection) bool {
+				walkErr := e.walkPair(gctx, t.from, t.to, opts, func(p core.DensePath) bool {
 					select {
-					case st.ch <- c:
+					case st.ch <- p.Clone():
 						return true
 					case <-gctx.Done():
 						truncated = true
@@ -466,8 +519,8 @@ func (e *Engine) walkConnections(ctx context.Context, keywords []string, keyword
 		})
 	}()
 	for st := range streams {
-		for c := range st.ch {
-			if err := process(c); err != nil {
+		for p := range st.ch {
+			if err := process(p); err != nil {
 				return err
 			}
 		}
@@ -485,28 +538,28 @@ func (e *Engine) walkConnections(ctx context.Context, keywords []string, keyword
 // walkPair enumerates the connections of one source pair: the degenerate
 // same-tuple pair yields the single-tuple connection (one tuple matching
 // both keywords is itself an answer); all others walk the graph. Like every
-// other walk, a yield returning false stops the enumeration.
-func (e *Engine) walkPair(ctx context.Context, from, to relation.TupleID, opts Options, yield func(core.Connection) bool) error {
+// other walk, a yield returning false stops the enumeration. The paths
+// handed to yield alias walk scratch and must be cloned to outlive the call.
+func (e *Engine) walkPair(ctx context.Context, from, to uint32, opts Options, yield func(core.DensePath) bool) error {
 	if from == to {
-		c, err := core.NewConnection(from, nil)
-		if err != nil || !yield(c) {
-			return nil
-		}
+		var one [1]uint32
+		one[0] = from
+		yield(core.DensePath{Nodes: one[:]})
 		return nil
 	}
-	return core.WalkConnections(ctx, e.graph, from, to, opts.MaxEdges, yield)
+	return core.WalkConnectionsIDs(ctx, e.graph, from, to, opts.MaxEdges, yield)
 }
 
-// covers reports whether the connection satisfies the keyword-coverage
-// semantics configured in the options.
-func (e *Engine) covers(c core.Connection, keywordTuples map[string]map[relation.TupleID]bool, keywords []string, opts Options) bool {
+// covers reports whether the path satisfies the keyword-coverage semantics
+// configured in the options.
+func (e *Engine) covers(p core.DensePath, q *query, opts Options) bool {
 	if !opts.RequireAllKeywords {
 		return true
 	}
-	for _, kw := range keywords {
+	for _, bits := range q.bits {
 		found := false
-		for _, t := range c.Tuples {
-			if keywordTuples[kw][t] {
+		for _, n := range p.Nodes {
+			if bits.Has(n) {
 				found = true
 				break
 			}
@@ -518,7 +571,11 @@ func (e *Engine) covers(c core.Connection, keywordTuples map[string]map[relation
 	return true
 }
 
-func (e *Engine) buildAnswer(ctx context.Context, c core.Connection, tupleKeywords map[relation.TupleID][]string, keywords []string, opts Options) (Answer, error) {
+// buildAnswer annotates one surviving connection: association analysis,
+// optional instance corroboration, per-tuple matched keywords and the total
+// content score (via the query's pooled scorers, so concurrent annotation
+// workers never share iterator state).
+func (e *Engine) buildAnswer(ctx context.Context, c core.Connection, q *query, opts Options) (Answer, error) {
 	var (
 		an  core.Analysis
 		err error
@@ -531,13 +588,20 @@ func (e *Engine) buildAnswer(ctx context.Context, c core.Connection, tupleKeywor
 	if err != nil {
 		return Answer{}, err
 	}
+	scorer := q.scorers.Get().(*index.Scorer)
+	defer q.scorers.Put(scorer)
+	tuples := e.graph.Tuples()
 	matched := make(map[relation.TupleID][]string)
 	content := 0.0
 	for _, t := range c.Tuples {
-		if kws := tupleKeywords[t]; len(kws) > 0 {
+		dense, ok := tuples.Lookup(t)
+		if !ok {
+			continue
+		}
+		if kws := q.tupleKeywords[dense]; len(kws) > 0 {
 			matched[t] = append([]string(nil), kws...)
 		}
-		content += e.index.ContentScore(t, keywords)
+		content += scorer.ScoreID(dense)
 	}
 	return Answer{Connection: c, Analysis: an, Matches: matched, ContentScore: content}, nil
 }
@@ -562,13 +626,4 @@ func appendUnique(ss []string, s string) []string {
 		}
 	}
 	return append(ss, s)
-}
-
-func sortedIDs(set map[relation.TupleID]bool) []relation.TupleID {
-	out := make([]relation.TupleID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
-	}
-	relation.SortTupleIDs(out)
-	return out
 }

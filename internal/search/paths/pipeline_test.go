@@ -213,27 +213,17 @@ func TestWalkConnectionsCompleteSetLateCancel(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	tuplesOf := func(rel string) map[relation.TupleID]bool {
-		tbl, ok := db.Table(rel)
-		if !ok {
-			t.Fatalf("missing table %s", rel)
-		}
-		out := make(map[relation.TupleID]bool)
-		for _, tp := range tbl.Tuples() {
-			out[tp.ID()] = true
-		}
-		return out
-	}
 	keywords := []string{"alpha", "beta"}
-	keywordTuples := map[string]map[relation.TupleID]bool{
-		"alpha": tuplesOf("A"),
-		"beta":  tuplesOf("B"),
+	q := e.resolve(keywords)
+	if len(q.matchLess["alpha"]) != 2 || len(q.matchLess["beta"]) != 2 {
+		t.Fatalf("sanity: resolved match sets alpha=%d beta=%d, want 2 and 2",
+			len(q.matchLess["alpha"]), len(q.matchLess["beta"]))
 	}
 	opts := Options{MaxEdges: 3, RequireAllKeywords: true, Parallelism: 2}
 
 	// Uncancelled baseline: two connections (a1—b1 and a2—b2).
 	want := 0
-	if err := e.walkConnections(context.Background(), keywords, keywordTuples, opts, func(core.Connection) error {
+	if err := e.walkConnections(context.Background(), q, opts, func(core.Connection) error {
 		want++
 		return nil
 	}); err != nil {
@@ -246,7 +236,7 @@ func TestWalkConnectionsCompleteSetLateCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	count := 0
-	err = e.walkConnections(ctx, keywords, keywordTuples, opts, func(core.Connection) error {
+	err = e.walkConnections(ctx, q, opts, func(core.Connection) error {
 		count++
 		if count == want {
 			cancel() // the complete set is delivered; cancellation arrives "late"
@@ -303,11 +293,15 @@ func TestStreamPipelinedCompleteSetLateCancel(t *testing.T) {
 func TestWalkPairSameTupleHonorsYieldStop(t *testing.T) {
 	e := newEngine(t, Options{})
 	target := id("DEPARTMENT", "d1")
+	dense, ok := e.graph.Tuples().Lookup(target)
+	if !ok {
+		t.Fatalf("target %v not interned", target)
+	}
 	called := 0
-	err := e.walkPair(context.Background(), target, target, Options{MaxEdges: 3}, func(c core.Connection) bool {
+	err := e.walkPair(context.Background(), dense, dense, Options{MaxEdges: 3}, func(p core.DensePath) bool {
 		called++
-		if got := c.Start(); got != target {
-			t.Errorf("yielded connection starts at %v, want %v", got, target)
+		if got := e.graph.Tuples().ID(p.Nodes[0]); got != target {
+			t.Errorf("yielded path starts at %v, want %v", got, target)
 		}
 		return false
 	})

@@ -1,0 +1,79 @@
+package symtab
+
+import (
+	"testing"
+)
+
+// tokensFromBytes cuts fuzz input into short tokens (with repeats), the raw
+// material for interning: chunk boundaries come from the data itself, so the
+// fuzzer controls token lengths, duplication and binary content.
+func tokensFromBytes(data []byte) []string {
+	var toks []string
+	for i := 0; i < len(data); {
+		n := int(data[i]%5) + 1
+		end := i + 1 + n
+		if end > len(data) {
+			end = len(data)
+		}
+		toks = append(toks, string(data[i+1:end]))
+		i = end
+	}
+	return toks
+}
+
+// FuzzStringsIntern checks the symbol-table invariants on arbitrary token
+// streams across a chain of copy-on-write extensions long enough to force a
+// flatten: IDs are dense and first-sight stable, Intern/Lookup/String are
+// mutually inverse, and every ID assigned in any generation resolves to the
+// same string in every later generation.
+func FuzzStringsIntern(f *testing.F) {
+	f.Add([]byte(""), uint8(0))
+	f.Add([]byte("\x02ab\x02ab\x01x"), uint8(3))
+	f.Add([]byte("\x00\x00\x00\x00\x00"), uint8(12)) // empty + duplicate tokens, deep chain
+	f.Add([]byte("\x04abcd\x01a\x02bc\x04abcd"), uint8(9))
+	f.Fuzz(func(t *testing.T, data []byte, generations uint8) {
+		toks := tokensFromBytes(data)
+		gens := int(generations%12) + 1 // beyond maxDepth, so flatten runs
+
+		layer := NewStrings()
+		ids := make(map[string]uint32) // oracle: first-sight assignment
+		order := []string(nil)         // strings by assigned ID
+		at := 0
+		for g := 0; g < gens; g++ {
+			// Interleave the token stream across generations.
+			for i := 0; i < len(toks)/gens+1 && at < len(toks); i++ {
+				tok := toks[at]
+				at++
+				id := layer.Intern(tok)
+				want, seen := ids[tok]
+				if seen {
+					if id != want {
+						t.Fatalf("gen %d: Intern(%q) = %d, previously %d", g, tok, id, want)
+					}
+					continue
+				}
+				if int(id) != len(order) {
+					t.Fatalf("gen %d: Intern(%q) = %d, want dense next %d", g, tok, id, len(order))
+				}
+				ids[tok] = id
+				order = append(order, tok)
+			}
+			if layer.Len() != len(order) {
+				t.Fatalf("gen %d: Len = %d, want %d", g, layer.Len(), len(order))
+			}
+			// Every symbol of every earlier generation still resolves.
+			for id, tok := range order {
+				if got := layer.String(uint32(id)); got != tok {
+					t.Fatalf("gen %d: String(%d) = %q, want %q", g, id, got, tok)
+				}
+				if got, ok := layer.Lookup(tok); !ok || got != uint32(id) {
+					t.Fatalf("gen %d: Lookup(%q) = %d,%v, want %d", g, tok, got, ok, id)
+				}
+			}
+			if _, ok := layer.Lookup(string(data) + "\x00absent"); ok {
+				t.Fatalf("gen %d: Lookup hit a never-interned token", g)
+			}
+			layer = layer.Extend()
+		}
+	})
+}

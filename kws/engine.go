@@ -12,6 +12,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/parallel"
 	"repro/internal/ranking"
+	"repro/internal/symtab"
 )
 
 // Config carries the default per-query options of an Engine; every field can
@@ -207,26 +208,29 @@ func New(db *Database, opts ...Option) (*Engine, error) {
 	// bypass the snapshot discipline (see Database.Insert and Engine.Apply).
 	// Nothing below can fail, so a failed New never leaves a frozen database.
 	db.freeze()
-	// The tuple graph and the inverted index are independent substrates;
-	// build them concurrently, each fanning out per-table workers.
-	// Parallelism 1 means fully sequential everywhere, including here.
+	// The tuple graph and the inverted index are independent substrates over
+	// one shared tuple-ID space; intern the tuples once, then build both
+	// concurrently, each fanning out per-table workers (the builders only
+	// read the frozen symbol table). Parallelism 1 means fully sequential
+	// everywhere, including here.
 	var (
-		graph *datagraph.Graph
-		idx   *index.Index
+		tuples = symtab.ForDatabase(inner)
+		graph  *datagraph.Graph
+		idx    *index.Index
 	)
 	if cfg.Parallelism == 1 {
-		graph = datagraph.BuildParallel(inner, 1)
-		idx = index.BuildParallel(inner, 1)
+		graph = datagraph.BuildParallelWith(inner, tuples, 1)
+		idx = index.BuildParallelWith(inner, tuples, 1)
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			graph = datagraph.BuildParallel(inner, cfg.Parallelism)
+			graph = datagraph.BuildParallelWith(inner, tuples, cfg.Parallelism)
 		}()
 		go func() {
 			defer wg.Done()
-			idx = index.BuildParallel(inner, cfg.Parallelism)
+			idx = index.BuildParallelWith(inner, tuples, cfg.Parallelism)
 		}()
 		wg.Wait()
 	}
