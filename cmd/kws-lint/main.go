@@ -1,0 +1,259 @@
+// Command kws-lint machine-checks the engine's prose invariants: pooled
+// scratch hygiene (pooledescape), copy-on-write generation discipline
+// (frozenwrite), map-iteration determinism (rangedeterminism) and context
+// propagation (ctxflow), plus — unless -vet=false — go vet's standard
+// analyzer set, all over the packages matching the given patterns.
+//
+// Usage:
+//
+//	kws-lint [-json] [-vet=false] [-suppressions] [packages...]
+//
+// With no patterns it checks ./... from the current directory, which must
+// be inside the module. Exit status is 1 when any non-suppressed finding
+// (or malformed //kwslint:ignore directive) is reported, 0 otherwise.
+// -json emits the findings and the suppression inventory as one JSON
+// object; -suppressions lists every live //kwslint:ignore directive with
+// its reason and whether it matched a finding in this run, so suppression
+// drift is auditable in review.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/passes/ctxflow"
+	"repro/internal/analysis/passes/frozenwrite"
+	"repro/internal/analysis/passes/pooledescape"
+	"repro/internal/analysis/passes/rangedeterminism"
+)
+
+// Analyzers is the kws-lint suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	ctxflow.Analyzer,
+	frozenwrite.Analyzer,
+	pooledescape.Analyzer,
+	rangedeterminism.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// report is the -json output shape: schema version, findings (suppressed
+// included, flagged), the suppression inventory, and vet diagnostics.
+type report struct {
+	Schema       int                `json:"schema"`
+	Findings     []analysis.Finding `json:"findings"`
+	Suppressions []suppressionJSON  `json:"suppressions"`
+	Vet          []analysis.Finding `json:"vet,omitempty"`
+}
+
+type suppressionJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+	Used     bool   `json:"used"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("kws-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of text")
+	withVet := fs.Bool("vet", true, "also run go vet's standard analyzer set")
+	listSup := fs.Bool("suppressions", false, "list every //kwslint:ignore directive and exit")
+	dir := fs.String("C", ".", "directory to run in (module root)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	res, err := analysis.Run(pkgs, Analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	if *listSup {
+		return printSuppressions(res, stdout, *jsonOut)
+	}
+
+	var vetFindings []analysis.Finding
+	if *withVet {
+		vetFindings, err = runVet(*dir, patterns)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	active := res.Active()
+	if *jsonOut {
+		rep := report{Schema: 1, Findings: res.Findings, Suppressions: suppressionRows(res), Vet: vetFindings}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range active {
+			fmt.Fprintln(stdout, f)
+		}
+		for _, f := range vetFindings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(active) > 0 || len(vetFindings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "kws-lint: %d finding(s)\n", len(active)+len(vetFindings))
+		}
+		return 1
+	}
+	return 0
+}
+
+func suppressionRows(res *analysis.Result) []suppressionJSON {
+	rows := make([]suppressionJSON, 0, len(res.Suppressions))
+	for _, s := range res.Suppressions {
+		if s.Bad != "" {
+			continue // malformed directives are findings, not suppressions
+		}
+		rows = append(rows, suppressionJSON{
+			File: s.Pos.Filename, Line: s.Line,
+			Analyzer: s.Analyzer, Reason: s.Reason, Used: s.Used,
+		})
+	}
+	return rows
+}
+
+// printSuppressions renders the -suppressions audit listing. Malformed
+// directives still fail the run.
+func printSuppressions(res *analysis.Result, stdout io.Writer, jsonOut bool) int {
+	bad := 0
+	for _, f := range res.Findings {
+		if f.Analyzer == analysis.DirectiveAnalyzer {
+			fmt.Fprintln(stdout, f)
+			bad++
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(suppressionRows(res)); err != nil {
+			return 2
+		}
+	} else {
+		for _, s := range res.Suppressions {
+			if s.Bad != "" {
+				continue
+			}
+			state := "used"
+			if !s.Used {
+				state = "unused"
+			}
+			fmt.Fprintf(stdout, "%s:%d: [%s] %s (%s)\n", s.Pos.Filename, s.Line, s.Analyzer, s.Reason, state)
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runVet executes go vet's standard analyzer set with -json and maps its
+// diagnostics into kws-lint findings (analyzer "vet/<name>").
+func runVet(dir string, patterns []string) ([]analysis.Finding, error) {
+	cmd := exec.Command("go", append([]string{"vet", "-json"}, patterns...)...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	runErr := cmd.Run()
+	findings, perr := parseVetJSON(errBuf.Bytes())
+	if perr != nil {
+		return nil, fmt.Errorf("kws-lint: parsing go vet output: %v\n%s", perr, errBuf.String())
+	}
+	if runErr != nil && len(findings) == 0 {
+		return nil, fmt.Errorf("kws-lint: go vet: %v\n%s", runErr, errBuf.String())
+	}
+	_ = out // go vet -json writes to stderr; stdout stays empty
+	return findings, nil
+}
+
+// parseVetJSON decodes go vet -json output: '#'-prefixed comment lines
+// interleaved with one JSON object per package,
+// {"pkg": {"analyzer": [{"posn": "file:line:col", "message": "..."}]}}.
+func parseVetJSON(raw []byte) ([]analysis.Finding, error) {
+	var clean bytes.Buffer
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if bytes.HasPrefix(bytes.TrimSpace(line), []byte("#")) {
+			continue
+		}
+		clean.Write(line)
+		clean.WriteByte('\n')
+	}
+	type vetDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	var findings []analysis.Finding
+	dec := json.NewDecoder(&clean)
+	for {
+		var byPkg map[string]map[string][]vetDiag
+		if err := dec.Decode(&byPkg); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		for _, byAnalyzer := range byPkg {
+			for name, diags := range byAnalyzer {
+				for _, d := range diags {
+					f := analysis.Finding{Analyzer: "vet/" + name, Message: d.Message}
+					f.File, f.Line, f.Col = splitPosn(d.Posn)
+					findings = append(findings, f)
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return lessFinding(findings[i], findings[j]) })
+	return findings, nil
+}
+
+func splitPosn(posn string) (file string, line, col int) {
+	parts := strings.Split(posn, ":")
+	if len(parts) >= 3 {
+		line, _ = strconv.Atoi(parts[len(parts)-2])
+		col, _ = strconv.Atoi(parts[len(parts)-1])
+		file = strings.Join(parts[:len(parts)-2], ":")
+		return file, line, col
+	}
+	return posn, 0, 0
+}
+
+func lessFinding(a, b analysis.Finding) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Analyzer < b.Analyzer
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const (
+	rangedetData = "../../internal/analysis/passes/rangedeterminism/testdata"
+	ctxData      = "../../internal/analysis/passes/ctxflow/testdata"
+)
+
+func TestRunReportsFindingsAsText(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-vet=false", "-C", rangedetData, "./src/rangedet"}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, errBuf.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "[rangedeterminism]") {
+		t.Errorf("output carries no rangedeterminism findings:\n%s", text)
+	}
+	if !strings.Contains(errBuf.String(), "finding(s)") {
+		t.Errorf("stderr summary missing: %s", errBuf.String())
+	}
+}
+
+func TestRunCleanPackageExitsZero(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-vet=false", "-C", ctxData, "./src/outofscope"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errBuf.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output: %s", out.String())
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-vet=false", "-json", "-C", rangedetData, "./src/rangedet"}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, errBuf.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, out.String())
+	}
+	if rep.Schema != 1 {
+		t.Errorf("schema = %d, want 1", rep.Schema)
+	}
+	if len(rep.Findings) == 0 {
+		t.Error("JSON report has no findings")
+	}
+	var suppressed bool
+	for _, f := range rep.Findings {
+		if f.Suppressed {
+			suppressed = true
+			if f.Reason == "" {
+				t.Errorf("suppressed finding without reason: %+v", f)
+			}
+		}
+	}
+	if !suppressed {
+		t.Error("JSON report should include the fixture's suppressed finding")
+	}
+	if len(rep.Suppressions) != 1 || !rep.Suppressions[0].Used {
+		t.Errorf("suppressions = %+v, want exactly one used entry", rep.Suppressions)
+	}
+}
+
+func TestRunSuppressionsListing(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-vet=false", "-suppressions", "-C", rangedetData, "./src/rangedet"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, errBuf.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "[rangedeterminism]") || !strings.Contains(text, "(used)") {
+		t.Errorf("suppression listing incomplete:\n%s", text)
+	}
+}
+
+func TestRunSuppressionsJSON(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-vet=false", "-suppressions", "-json", "-C", rangedetData, "./src/rangedet"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, errBuf.String())
+	}
+	var rows []suppressionJSON
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatalf("decoding -suppressions -json: %v\n%s", err, out.String())
+	}
+	if len(rows) != 1 || rows[0].Analyzer != "rangedeterminism" || !rows[0].Used {
+		t.Errorf("rows = %+v, want one used rangedeterminism entry", rows)
+	}
+}
+
+func TestRunWithVetOnCleanPackage(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-C", ctxData, "./src/outofscope"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errBuf.String())
+	}
+}
+
+func TestParseVetJSON(t *testing.T) {
+	raw := []byte(`# repro/internal/foo
+{
+	"repro/internal/foo": {
+		"printf": [
+			{"posn": "/x/b.go:12:3", "message": "non-constant format string"},
+			{"posn": "/x/a.go:10:2", "message": "bad verb"}
+		]
+	}
+}
+# repro/internal/bar
+{
+	"repro/internal/bar": {}
+}
+`)
+	findings, err := parseVetJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	// Sorted by file: a.go before b.go.
+	if findings[0].File != "/x/a.go" || findings[0].Line != 10 || findings[0].Col != 2 {
+		t.Errorf("first finding = %+v", findings[0])
+	}
+	if findings[0].Analyzer != "vet/printf" {
+		t.Errorf("analyzer = %q, want vet/printf", findings[0].Analyzer)
+	}
+	if _, err := parseVetJSON([]byte("not json\n")); err == nil {
+		t.Error("malformed vet output accepted")
+	}
+}
+
+func TestSplitPosn(t *testing.T) {
+	if f, l, c := splitPosn("/a/b.go:3:7"); f != "/a/b.go" || l != 3 || c != 7 {
+		t.Errorf("splitPosn = %q %d %d", f, l, c)
+	}
+	if f, l, c := splitPosn("oddball"); f != "oddball" || l != 0 || c != 0 {
+		t.Errorf("splitPosn fallback = %q %d %d", f, l, c)
+	}
+}
+
+func TestRunBadPatternExitsTwo(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-vet=false", "./no/such/package"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

@@ -1,0 +1,98 @@
+// Package analysis is the repo's static-analysis layer: a dependency-free
+// subset of the golang.org/x/tools/go/analysis API plus the loader and
+// driver that run repo-specific analyzers (internal/analysis/passes) over
+// the module. It exists because the invariants the engine's correctness
+// rests on — pooled scratch never escaping a search call, frozen
+// copy-on-write generations never written after publish, map iteration
+// never feeding ordered output, contexts flowing through every blocking
+// entry point — are invisible to the compiler and the race detector. The
+// analyzers turn those prose rules from ARCHITECTURE.md into CI-enforced
+// checks.
+//
+// The API mirrors go/analysis deliberately (Analyzer, Pass, Diagnostic), so
+// the passes can migrate to x/tools unchanged if the module ever takes that
+// dependency. The framework is tooling-only: nothing under the runtime
+// packages imports it.
+//
+// Findings are suppressed with a directive comment on the offending line or
+// alone on the line above:
+//
+//	//kwslint:ignore <analyzer> <reason>
+//
+// The analyzer name must be one of the registered analyzers and the reason
+// is mandatory; a malformed directive is itself an (unsuppressable) finding.
+// `kws-lint -suppressions` lists every live directive so drift is auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name (used in findings and
+// suppression directives), documentation, and the function applying the
+// check to a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //kwslint:ignore
+	// directives. It must be a valid identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+
+	// Run applies the analyzer to a package, reporting findings through
+	// pass.Report. The return value is unused (kept for go/analysis
+	// signature compatibility); a non-nil error aborts the whole run — it
+	// means the analyzer itself is broken, not that the code has findings.
+	Run func(pass *Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass hands an analyzer one type-checked package and the sink for its
+// findings. Analyzers must not retain the Pass past Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. The driver attaches suppression
+	// handling and ordering; analyzers just call it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// validate checks the analyzer set before a run: names must be non-empty,
+// unique, and every Run non-nil.
+func validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		switch {
+		case a == nil:
+			return fmt.Errorf("analysis: nil analyzer")
+		case a.Name == "":
+			return fmt.Errorf("analysis: analyzer with empty name")
+		case a.Run == nil:
+			return fmt.Errorf("analysis: analyzer %s has no Run", a.Name)
+		case seen[a.Name]:
+			return fmt.Errorf("analysis: duplicate analyzer name %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}

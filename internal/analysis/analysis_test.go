@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testpass reports one diagnostic on every function declaration.
+var testpass = &Analyzer{
+	Name: "testpass",
+	Doc:  "report every function declaration",
+	Run: func(pass *Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Name.Pos(), "func %s declared", fd.Name.Name)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func loadDirs(t *testing.T) []*Package {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir, "./src/dirs")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	return pkgs
+}
+
+func TestLoadTypechecks(t *testing.T) {
+	pkg := loadDirs(t)[0]
+	if pkg.Types == nil || pkg.TypesInfo == nil {
+		t.Fatal("package loaded without type information")
+	}
+	if !strings.HasSuffix(pkg.PkgPath, "testdata/src/dirs") {
+		t.Fatalf("unexpected package path %q", pkg.PkgPath)
+	}
+	if len(pkg.Sources) == 0 {
+		t.Fatal("package loaded without source bytes")
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	dir, _ := filepath.Abs("testdata")
+	if _, err := Load(dir, "./src/nonexistent"); err == nil {
+		t.Fatal("Load of a nonexistent package succeeded")
+	}
+}
+
+func TestRunResolvesDirectives(t *testing.T) {
+	res, err := Run(loadDirs(t), []*Analyzer{testpass})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One finding per func decl (a,b,c,d,e,use) plus two malformed
+	// directives (unknown analyzer on d's line, missing reason on e's line).
+	byFunc := map[string]Finding{}
+	var directives []Finding
+	for _, f := range res.Findings {
+		if f.Analyzer == DirectiveAnalyzer {
+			directives = append(directives, f)
+			continue
+		}
+		name := strings.TrimSuffix(strings.TrimPrefix(f.Message, "func "), " declared")
+		byFunc[name] = f
+	}
+	if len(byFunc) != 6 {
+		t.Fatalf("got %d function findings, want 6: %v", len(byFunc), byFunc)
+	}
+	for name, wantSuppressed := range map[string]bool{
+		"a": false, "b": true, "c": true, "d": false, "e": false, "use": false,
+	} {
+		if f, ok := byFunc[name]; !ok || f.Suppressed != wantSuppressed {
+			t.Errorf("func %s: suppressed=%v (found=%v), want suppressed=%v", name, f.Suppressed, ok, wantSuppressed)
+		}
+	}
+	if len(directives) != 2 {
+		t.Fatalf("got %d malformed-directive findings, want 2: %v", len(directives), directives)
+	}
+	for _, d := range directives {
+		if d.Suppressed {
+			t.Errorf("malformed directive finding must not be suppressable: %v", d)
+		}
+	}
+
+	// The directive over `var quiet` matches nothing and must read unused.
+	unused := 0
+	for _, s := range res.Suppressions {
+		if s.Bad == "" && !s.Used {
+			unused++
+		}
+	}
+	if unused != 1 {
+		t.Errorf("got %d unused suppressions, want 1", unused)
+	}
+
+	// Findings arrive sorted by file, then line.
+	for i := 1; i < len(res.Findings); i++ {
+		a, b := res.Findings[i-1], res.Findings[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Fatalf("findings not sorted: %v before %v", a, b)
+		}
+	}
+}
+
+func TestRunRejectsBadAnalyzers(t *testing.T) {
+	pkgs := loadDirs(t)
+	if _, err := Run(pkgs, []*Analyzer{testpass, testpass}); err == nil {
+		t.Error("duplicate analyzer names accepted")
+	}
+	if _, err := Run(pkgs, []*Analyzer{{Name: "", Run: testpass.Run}}); err == nil {
+		t.Error("empty analyzer name accepted")
+	}
+	if _, err := Run(pkgs, []*Analyzer{{Name: "norun"}}); err == nil {
+		t.Error("nil Run accepted")
+	}
+}
+
+func TestActiveExcludesSuppressed(t *testing.T) {
+	res, err := Run(loadDirs(t), []*Analyzer{testpass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Active() {
+		if f.Suppressed {
+			t.Fatalf("Active() returned suppressed finding %v", f)
+		}
+	}
+	if len(res.Active()) >= len(res.Findings) {
+		t.Fatal("expected some findings to be suppressed")
+	}
+}

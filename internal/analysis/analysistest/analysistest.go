@@ -1,0 +1,184 @@
+// Package analysistest runs an analyzer over fixture packages and compares
+// its findings against `// want` expectation comments, mirroring the
+// golang.org/x/tools analysistest contract on the repo's dependency-free
+// analysis framework.
+//
+// Fixture packages live under the analyzer's testdata/src/<name> directory
+// and are real, compiling packages of this module — they may import the
+// engine's packages to exercise the analyzers against the genuine frozen
+// and pooled types. Expectations annotate the offending line:
+//
+//	v := pool.Get().(*buf) // want `never returned with pool.Put`
+//
+// Each string is a regular expression that must match one finding reported
+// on that line; findings with no matching expectation, and expectations
+// with no matching finding, fail the test. Suppression directives are live
+// in fixtures, so suppressed-finding behavior is testable: a finding
+// silenced by //kwslint:ignore needs no expectation.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory, the conventional fixture root.
+func TestData() string {
+	d, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Run loads each fixture package dir/src/<pkg>, applies the analyzer, and
+// reports every mismatch between findings and `// want` expectations as a
+// test error. It returns the driver result for extra assertions (e.g. on
+// suppressions).
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) *analysis.Result {
+	t.Helper()
+	patterns := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		patterns[i] = "./" + filepath.ToSlash(filepath.Join("src", p))
+	}
+	loaded, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	res, err := analysis.Run(loaded, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkExpectations(t, loaded, res.Active())
+	return res
+}
+
+// expectation is one `// want` regexp with its consumption state.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// checkExpectations compares active findings against want comments.
+func checkExpectations(t *testing.T, pkgs []*analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	wants := make(map[string]map[int][]*expectation) // file -> line -> expectations
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			file := pkg.Fset.Position(f.Pos()).Filename
+			byLine, err := parseWants(pkg, f)
+			if err != nil {
+				t.Fatalf("%s: %v", file, err)
+			}
+			if len(byLine) > 0 {
+				wants[file] = byLine
+			}
+		}
+	}
+	for _, f := range findings {
+		exps := wants[f.File][f.Line]
+		matched := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(f.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s", posn(f), f.Message)
+		}
+	}
+	for file, byLine := range wants {
+		for line, exps := range byLine {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: no finding matched `%s`", file, line, e.raw)
+				}
+			}
+		}
+	}
+}
+
+func posn(f analysis.Finding) string {
+	return fmt.Sprintf("%s:%d:%d [%s]", f.File, f.Line, f.Col, f.Analyzer)
+}
+
+// parseWants extracts `// want "re" ...` expectations per line.
+func parseWants(pkg *analysis.Package, f *ast.File) (map[int][]*expectation, error) {
+	out := make(map[int][]*expectation)
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			line := pkg.Fset.Position(c.Slash).Line
+			exps, err := parseWantStrings(text)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			out[line] = append(out[line], exps...)
+		}
+	}
+	return out, nil
+}
+
+// parseWantStrings parses a sequence of Go string literals (quoted or
+// backquoted) into compiled expectations.
+func parseWantStrings(text string) ([]*expectation, error) {
+	var out []*expectation
+	for {
+		text = strings.TrimSpace(text)
+		if text == "" {
+			return out, nil
+		}
+		var lit string
+		switch text[0] {
+		case '"':
+			end := 1
+			for end < len(text) {
+				if text[end] == '\\' {
+					end += 2
+					continue
+				}
+				if text[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(text) {
+				return nil, fmt.Errorf("unterminated want string %q", text)
+			}
+			lit = text[:end+1]
+			text = text[end+1:]
+		case '`':
+			end := strings.IndexByte(text[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want string %q", text)
+			}
+			lit = text[:end+2]
+			text = text[end+2:]
+		default:
+			return nil, fmt.Errorf("want expects quoted regexps, got %q", text)
+		}
+		raw, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want string %s: %v", lit, err)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", raw, err)
+		}
+		out = append(out, &expectation{re: re, raw: raw})
+	}
+}

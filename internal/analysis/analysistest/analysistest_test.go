@@ -1,0 +1,56 @@
+package analysistest
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// marker reports one finding per function declaration.
+var marker = &analysis.Analyzer{
+	Name: "marker",
+	Doc:  "report every function declaration",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Name.Pos(), "func %s declared", fd.Name.Name)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func TestRunMatchesWants(t *testing.T) {
+	if !strings.HasSuffix(TestData(), "testdata") {
+		t.Fatalf("TestData() = %q", TestData())
+	}
+	res := Run(t, TestData(), marker, "self")
+	if len(res.Findings) != 3 {
+		t.Errorf("got %d findings, want 3 (Alpha, Beta, suppressed Gamma)", len(res.Findings))
+	}
+	var suppressed int
+	for _, f := range res.Findings {
+		if f.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("got %d suppressed findings, want 1", suppressed)
+	}
+}
+
+func TestParseWantStrings(t *testing.T) {
+	exps, err := parseWantStrings(`"first" ` + "`second`")
+	if err != nil || len(exps) != 2 {
+		t.Fatalf("parseWantStrings: %v, %d expectations", err, len(exps))
+	}
+	for _, bad := range []string{`"unterminated`, "`unterminated", `notquoted`, `"bad[regexp"`} {
+		if _, err := parseWantStrings(bad); err == nil {
+			t.Errorf("parseWantStrings(%q) accepted malformed input", bad)
+		}
+	}
+}

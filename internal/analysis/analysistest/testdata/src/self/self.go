@@ -1,0 +1,11 @@
+// Package self is the analysistest self-test fixture: the marker test
+// analyzer reports every function declaration, and the want comments below
+// exercise both string-literal styles plus suppression handling.
+package self
+
+func Alpha() {} // want "func Alpha declared"
+
+func Beta() {} // want `func Beta declared`
+
+//kwslint:ignore marker suppressed findings need no want comment
+func Gamma() {}

@@ -1,0 +1,22 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	ScopePrefixes = append(ScopePrefixes, "repro/internal/analysis/passes/ctxflow/testdata/src/ctx")
+	defer func() { ScopePrefixes = ScopePrefixes[:len(ScopePrefixes)-1] }()
+
+	res := analysistest.Run(t, analysistest.TestData(), Analyzer, "ctx", "outofscope")
+
+	for _, s := range res.Suppressions {
+		if s.Bad != "" {
+			t.Errorf("unexpected malformed directive: %s", s.Bad)
+		} else if !s.Used {
+			t.Errorf("%s:%d: suppression unused", s.Pos.Filename, s.Line)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+// Package outofscope is not in ScopePrefixes: manufactured contexts here
+// are nobody's business.
+package outofscope
+
+import "context"
+
+func Do(n int) context.Context {
+	_ = n
+	return context.Background()
+}

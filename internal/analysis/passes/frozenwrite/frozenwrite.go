@@ -1,0 +1,136 @@
+// Package frozenwrite checks the engine's copy-on-write generation
+// discipline: once a generation is published, its structures — interning
+// layers, posting blocks, relation tables, the engine snapshot — are
+// frozen, and readers pin them without locks. The compiler cannot tell a
+// builder mutating a private clone from a bug mutating published state, so
+// this pass allowlists the builder functions of each frozen type and
+// reports every other assignment to their fields or elements.
+//
+// The check resolves the written expression's receiver chain through
+// go/types: `t.lookup[s] = id`, `l.data = append(...)` and
+// `copy(flat.syms, ...)` all count as writes to the frozen base value.
+// Writes from outside the type's defining package are never allowed.
+package frozenwrite
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// FrozenTypes maps frozen copy-on-write types (full go/types names) to a
+// short description used in messages. Exported so fixtures can extend it.
+var FrozenTypes = map[string]string{
+	"repro/internal/symtab.Strings": "per-generation interning layer",
+	"repro/internal/symtab.Tuples":  "per-generation interning layer",
+	"repro/internal/postings.List":  "immutable posting block",
+	"repro/internal/relation.Table": "published relation extension",
+	"repro/kws.snapshot":            "published engine generation",
+}
+
+// Mutators lists, per frozen type, the functions of its defining package
+// allowed to write it: constructors, the COW Extend/Clone/Delete family,
+// and delta-application paths. Method names use the Type.Method form.
+var Mutators = map[string][]string{
+	"repro/internal/symtab.Strings": {
+		"NewStrings", "Strings.Intern", "Strings.Extend", "Strings.flatten",
+	},
+	"repro/internal/symtab.Tuples": {
+		"NewTuples", "Tuples.Intern", "Tuples.Extend", "Tuples.flatten",
+	},
+	"repro/internal/postings.List": {"Build"},
+	"repro/internal/relation.Table": {
+		"NewTable", "Table.Insert", "Table.InsertRow", "Table.Delete",
+		"Table.Clone", "Table.indexForeignKeys", "Table.unindexForeignKeys",
+	},
+	"repro/kws.snapshot": {"snapshot.searcher"},
+}
+
+// Analyzer is the frozenwrite pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "frozenwrite",
+	Doc: "check that frozen copy-on-write state is only written by its builders\n\n" +
+		"Reports assignments (and copy/clear calls) whose target is a field or\n" +
+		"element of a frozen generation type — symtab layers, posting lists,\n" +
+		"relation tables, the engine snapshot — outside the allowlisted\n" +
+		"builder/Extend/ApplyDelta functions of the defining package.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fnName := analysis.FuncDeclName(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						checkWrite(pass, fnName, lhs, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkWrite(pass, fnName, st.X, st)
+				case *ast.CallExpr:
+					if id, ok := st.Fun.(*ast.Ident); ok && (id.Name == "copy" || id.Name == "clear") && len(st.Args) > 0 {
+						if pass.TypesInfo.Uses[id] != nil && pass.TypesInfo.Uses[id].Pkg() == nil {
+							checkWrite(pass, fnName, st.Args[0], st)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// checkWrite reports a finding when target (an assignment LHS, IncDec
+// operand or copy/clear destination) writes through a frozen type outside
+// its allowlist. It walks the expression chain so that any frozen base
+// along the way counts: t.lookup[s], l.data, tbl.tuples[i].
+func checkWrite(pass *analysis.Pass, fnName string, target ast.Expr, at ast.Node) {
+	for e := target; ; {
+		var base ast.Expr
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			base = x.X
+		case *ast.IndexExpr:
+			base = x.X
+		case *ast.SliceExpr:
+			base = x.X
+		case *ast.StarExpr:
+			base = x.X
+		default:
+			return
+		}
+		if tv, ok := pass.TypesInfo.Types[base]; ok {
+			name := analysis.TypeName(tv.Type)
+			if desc, frozen := FrozenTypes[name]; frozen {
+				if !allowed(pass, name, fnName) {
+					pass.Reportf(at.Pos(), "write to frozen %s (%s) outside its builder allowlist %v; frozen generations are copy-on-write — extend or clone instead", name, desc, Mutators[name])
+				}
+				return
+			}
+		}
+		e = base
+	}
+}
+
+// allowed reports whether fnName may mutate the frozen type: it must be in
+// the type's defining package and on the type's mutator allowlist.
+func allowed(pass *analysis.Pass, typeName, fnName string) bool {
+	dot := strings.LastIndex(typeName, ".")
+	if dot < 0 || pass.Pkg.Path() != typeName[:dot] {
+		return false
+	}
+	for _, m := range Mutators[typeName] {
+		if m == fnName {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,27 @@
+package frozenwrite
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFrozenWrite(t *testing.T) {
+	const gen = "repro/internal/analysis/passes/frozenwrite/testdata/src/frozen.Gen"
+	FrozenTypes[gen] = "fixture generation"
+	Mutators[gen] = []string{"NewGen", "Gen.Extend"}
+	defer func() {
+		delete(FrozenTypes, gen)
+		delete(Mutators, gen)
+	}()
+
+	res := analysistest.Run(t, analysistest.TestData(), Analyzer, "frozen", "frozenuse")
+
+	for _, s := range res.Suppressions {
+		if s.Bad != "" {
+			t.Errorf("unexpected malformed directive: %s", s.Bad)
+		} else if !s.Used {
+			t.Errorf("%s:%d: suppression unused", s.Pos.Filename, s.Line)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package frozen defines a fixture copy-on-write type. The test registers
+// Gen in FrozenTypes with NewGen and Gen.Extend as its only mutators, so
+// every other write — even in this defining package — is a finding.
+package frozen
+
+// Gen is a fixture generation: frozen once published. Fields are exported
+// so the frozenuse fixture package can attempt cross-package writes.
+type Gen struct {
+	Data []int
+	Tags map[string]int
+}
+
+// NewGen is the allowlisted builder.
+func NewGen(n int) *Gen {
+	g := &Gen{Data: make([]int, n), Tags: map[string]int{}}
+	for i := range g.Data {
+		g.Data[i] = i
+	}
+	g.Tags["size"] = n
+	return g
+}
+
+// Extend is the allowlisted COW derivation: it writes only the fresh clone.
+func (g *Gen) Extend(v int) *Gen {
+	ng := &Gen{
+		Data: append(append([]int(nil), g.Data...), v),
+		Tags: make(map[string]int, len(g.Tags)),
+	}
+	for k, t := range g.Tags {
+		ng.Tags[k] = t
+	}
+	ng.Tags["size"]++
+	return ng
+}
+
+// poke is a same-package function off the allowlist: every write is a bug.
+func poke(g *Gen) {
+	g.Data[0] = 99         // want `write to frozen`
+	g.Tags["x"]++          // want `write to frozen`
+	clear(g.Tags)          // want `write to frozen`
+	copy(g.Data, []int{1}) // want `write to frozen`
+}
+
+// read-only access is always fine.
+func sum(g *Gen) int {
+	total := 0
+	for _, v := range g.Data {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,30 @@
+// Package frozenuse attempts writes to the frozen fixture type from
+// outside its defining package: never allowed, whatever the function is
+// called.
+package frozenuse
+
+import frozen "repro/internal/analysis/passes/frozenwrite/testdata/src/frozen"
+
+func Mutate(g *frozen.Gen) {
+	g.Data[0] = 1 // want `write to frozen`
+}
+
+// NewGen shares its name with the allowlisted builder, but the allowlist is
+// scoped to the defining package.
+func NewGen(g *frozen.Gen) {
+	g.Tags["n"] = 3 // want `write to frozen`
+}
+
+func Read(g *frozen.Gen) int {
+	return g.Data[0] + g.Tags["size"]
+}
+
+// Grow derives a new generation through the sanctioned API.
+func Grow(g *frozen.Gen) *frozen.Gen {
+	return g.Extend(7)
+}
+
+// Audited demonstrates a reasoned, suppressed exception.
+func Audited(g *frozen.Gen) {
+	g.Data[0] = 2 //kwslint:ignore frozenwrite fixture demonstrates an audited pre-publish write
+}

@@ -1,0 +1,185 @@
+package pooledescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// walkWithStack visits every node of root, handing fn the stack of
+// ancestors (outermost first, excluding the node itself).
+func walkWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// boundObject resolves the variable a call's result is bound to, seeing
+// through a type assertion: `v := pool.Get().(*T)` binds v. The stack is
+// the call's ancestor chain. Multi-value assignments and uses as arguments
+// bind nothing.
+func boundObject(info *types.Info, stack []ast.Node) types.Object {
+	i := len(stack) - 1
+	// Skip over the wrapping type assertion and parens, if any.
+	for ; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.TypeAssertExpr, *ast.ParenExpr:
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return nil
+	}
+	switch parent := stack[i].(type) {
+	case *ast.AssignStmt:
+		if len(parent.Lhs) == 1 && len(parent.Rhs) == 1 {
+			if id, ok := parent.Lhs[0].(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					return obj
+				}
+				return info.Uses[id]
+			}
+		}
+	case *ast.ValueSpec:
+		if len(parent.Names) == 1 && len(parent.Values) == 1 {
+			return info.Defs[parent.Names[0]]
+		}
+	}
+	return nil
+}
+
+// underReturn reports whether the node whose ancestor stack is given sits
+// inside a return statement (directly or under parens/type assertions).
+func underReturn(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.ParenExpr, *ast.TypeAssertExpr:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// rootOf unwraps selector/index/slice/star/paren chains to the base
+// identifier: rootOf(sc.nodes[i:j]) = sc. Returns nil when the base is not
+// a plain identifier.
+func rootOf(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// refersTo reports whether e is rooted at obj: the identifier itself, or a
+// selector/index/slice chain hanging off it (sc, sc.nodes, sc.nodes[1:]).
+// With exact, only the bare identifier counts — used for scratch-typed
+// values whose methods (Clone, Connection) legitimately derive detached
+// copies.
+func refersTo(info *types.Info, e ast.Expr, obj types.Object, exact bool) bool {
+	if exact {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == obj
+	}
+	id := rootOf(ast.Unparen(e))
+	return id != nil && info.Uses[id] == obj
+}
+
+// scanEscapes walks body reporting every site where obj (or, unless exact,
+// memory reachable from it) escapes the function: returns, channel sends,
+// appends, and stores into fields, elements, dereferences or globals.
+func scanEscapes(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object, exact bool, report func(at ast.Node, how string)) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if refersTo(info, res, obj, exact) {
+					report(st, "is returned")
+				}
+			}
+		case *ast.SendStmt:
+			if refersTo(info, st.Value, obj, exact) {
+				report(st, "is sent on a channel")
+			}
+		case *ast.CallExpr:
+			if id, ok := st.Fun.(*ast.Ident); ok {
+				if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "append" {
+					for i, arg := range st.Args[1:] {
+						// append(dst, src...) copies elements out of src; the
+						// spread slice itself does not escape — that spelling
+						// is the sanctioned way to detach aliased memory.
+						if st.Ellipsis.IsValid() && i == len(st.Args)-2 {
+							continue
+						}
+						if refersTo(info, arg, obj, exact) {
+							report(st, "is appended to a slice")
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if !refersTo(info, rhs, obj, exact) {
+					continue
+				}
+				if i < len(st.Lhs) && escapingLHS(pass, st.Lhs[i], obj) {
+					report(st, "is stored past the call")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// escapingLHS reports whether assigning into lhs stores the value beyond
+// the function: a field, element or dereference of something other than the
+// scratch value itself, or a package-level variable. Writes into the
+// scratch value's own fields/elements (sc.nodes = ...) are normal use.
+func escapingLHS(pass *analysis.Pass, lhs ast.Expr, obj types.Object) bool {
+	info := pass.TypesInfo
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		target := info.Uses[l]
+		if target == nil {
+			target = info.Defs[l]
+		}
+		// Only a store into a package-level variable escapes; local
+		// re-aliasing stays inside the function.
+		return target != nil && target.Parent() == pass.Pkg.Scope()
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		if id := rootOf(lhs); id != nil && info.Uses[id] == obj {
+			return false // writing into the scratch itself
+		}
+		return true
+	}
+	return false
+}

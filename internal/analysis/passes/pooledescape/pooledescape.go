@@ -1,0 +1,195 @@
+// Package pooledescape checks the engine's pooled-scratch discipline: a
+// value taken from a sync.Pool must go back with Put inside the same
+// function and must not be retained past the call — not returned, not sent
+// on a channel, not stored into a field, map, slice or global. The same
+// retention rules apply to known shared-memory surfaces that merely alias
+// reusable scratch: the adjacency slice returned by Graph.NeighborsID and
+// the DensePath values a walk hands to its yield, which must be detached
+// with Clone or Connection before crossing a goroutine or storage boundary.
+//
+// The check is intraprocedural by design. Helper pairs that deliberately
+// hand a pooled value to their caller (getExpansion/putExpansion style)
+// trip the return rule and carry a //kwslint:ignore pooledescape directive
+// stating that the caller owns the Put — making every such transfer of
+// ownership explicit and auditable.
+package pooledescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// AliasReturning names functions whose return value aliases shared or
+// pooled memory (full go/types names); retaining their result is a finding.
+// Exported so the fixture tests and future passes can extend it.
+var AliasReturning = map[string]string{
+	"(*repro/internal/datagraph.Graph).NeighborsID": "the shared adjacency slab",
+}
+
+// ScratchTypes maps named types whose values alias walk scratch when they
+// arrive as function parameters (yield callbacks) to the methods that
+// safely detach them. Retaining such a parameter without one of the listed
+// calls is a finding.
+var ScratchTypes = map[string][]string{
+	"repro/internal/core.DensePath": {"Clone", "Connection"},
+}
+
+// Analyzer is the pooledescape pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "pooledescape",
+	Doc: "check that sync.Pool values are Put back and never retained\n\n" +
+		"Reports pool Gets without a matching Put in the same function, pooled\n" +
+		"values (or their fields) that are returned, sent, appended or stored\n" +
+		"past the Put, and retention of known scratch-aliasing values\n" +
+		"(Graph.NeighborsID results, DensePath yield parameters) without a\n" +
+		"detaching Clone/Connection call.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// poolGet is one sync.Pool Get call found in a function.
+type poolGet struct {
+	call *ast.CallExpr
+	pool string       // rendering of the pool expression, for Get/Put pairing
+	obj  types.Object // variable the value is bound to, if any
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var gets []poolGet
+	puts := make(map[string]bool) // pool expression -> has a Put
+	returnedGets := make(map[*ast.CallExpr]bool)
+
+	walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		tv, ok := info.Types[sel.X]
+		if !ok || !analysis.IsSyncPool(tv.Type) {
+			return
+		}
+		poolExpr := types.ExprString(sel.X)
+		switch sel.Sel.Name {
+		case "Put":
+			puts[poolExpr] = true
+		case "Get":
+			g := poolGet{call: call, pool: poolExpr}
+			g.obj = boundObject(info, stack)
+			if underReturn(stack) {
+				returnedGets[call] = true
+			}
+			gets = append(gets, g)
+		}
+	})
+
+	for _, g := range gets {
+		if returnedGets[g.call] {
+			pass.Reportf(g.call.Pos(), "pooled value from %s is returned to the caller; the pool loses it unless the caller Puts it back", g.pool)
+			continue
+		}
+		escaped := false
+		if g.obj != nil {
+			scanEscapes(pass, fd.Body, g.obj, false, func(pos ast.Node, how string) {
+				escaped = true
+				pass.Reportf(pos.Pos(), "pooled value %s from %s %s; pooled scratch must not outlive the call that Got it", g.obj.Name(), g.pool, how)
+			})
+		}
+		if !escaped && !puts[g.pool] {
+			pass.Reportf(g.call.Pos(), "value taken from %s is never returned with %s.Put on any path of %s", g.pool, g.pool, analysis.FuncDeclName(fd))
+		}
+	}
+
+	checkAliasReturning(pass, fd)
+	checkScratchParams(pass, fd)
+}
+
+// checkAliasReturning flags retention of results of functions known to
+// return shared/aliased memory.
+func checkAliasReturning(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		name := analysis.CalleeName(info, call)
+		note, aliasing := AliasReturning[name]
+		if !aliasing {
+			return
+		}
+		if underReturn(stack) {
+			pass.Reportf(call.Pos(), "%s aliases %s; returning it hands shared memory to the caller — copy it first", name, note)
+			return
+		}
+		if obj := boundObject(info, stack); obj != nil {
+			scanEscapes(pass, fd.Body, obj, false, func(pos ast.Node, how string) {
+				pass.Reportf(pos.Pos(), "%s (from %s, which aliases %s) %s; copy before retaining", obj.Name(), name, note, how)
+			})
+		}
+	})
+}
+
+// checkScratchParams flags retention of scratch-aliasing parameters (yield
+// callback arguments) stored without a detaching call.
+func checkScratchParams(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	check := func(ft *ast.FuncType, body *ast.BlockStmt) {
+		if ft.Params == nil || body == nil {
+			return
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				tn := analysis.TypeName(obj.Type())
+				detach, ok := ScratchTypes[tn]
+				if !ok {
+					continue
+				}
+				scanEscapes(pass, body, obj, true, func(pos ast.Node, how string) {
+					pass.Reportf(pos.Pos(), "%s aliases walk scratch (%s) and %s; detach it first with %s", obj.Name(), tn, how, orList(detach))
+				})
+			}
+		}
+	}
+	check(fd.Type, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			check(fl.Type, fl.Body)
+		}
+		return true
+	})
+}
+
+func orList(names []string) string {
+	switch len(names) {
+	case 0:
+		return "a copy"
+	case 1:
+		return names[0]
+	}
+	out := names[0]
+	for _, n := range names[1:] {
+		out += " or " + n
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package pooledescape
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestPooledEscape(t *testing.T) {
+	res := analysistest.Run(t, analysistest.TestData(), Analyzer, "pool", "alias")
+
+	// The handoff fixture carries the one suppression; it must be matched by
+	// a finding, or the directive has drifted.
+	var used, unused int
+	for _, s := range res.Suppressions {
+		if s.Bad != "" {
+			t.Errorf("unexpected malformed directive: %s", s.Bad)
+			continue
+		}
+		if s.Used {
+			used++
+		} else {
+			unused++
+		}
+	}
+	if used != 1 || unused != 0 {
+		t.Errorf("suppressions: got %d used, %d unused; want exactly 1 used", used, unused)
+	}
+}

@@ -1,0 +1,56 @@
+// Package alias exercises the shared-memory aliasing rules against the
+// engine's real types: Graph.NeighborsID returns a view into the adjacency
+// slab, and DensePath parameters alias walk scratch until detached.
+package alias
+
+import (
+	"repro/internal/core"
+	"repro/internal/datagraph"
+)
+
+var (
+	keptEdges []datagraph.DenseEdge
+	keptPaths []core.DensePath
+)
+
+func returnsAlias(g *datagraph.Graph, id uint32) []datagraph.DenseEdge {
+	return g.NeighborsID(id) // want `aliases the shared adjacency slab`
+}
+
+func retainsAlias(g *datagraph.Graph, id uint32) {
+	ns := g.NeighborsID(id)
+	keptEdges = ns // want `aliases the shared adjacency slab`
+}
+
+// copies detaches with the sanctioned append-copy spelling.
+func copies(g *datagraph.Graph, id uint32) []datagraph.DenseEdge {
+	ns := g.NeighborsID(id)
+	return append([]datagraph.DenseEdge(nil), ns...)
+}
+
+// reads consumes the view in place without retaining it.
+func reads(g *datagraph.Graph, id uint32) int {
+	total := 0
+	for _, e := range g.NeighborsID(id) {
+		total += int(e.To)
+	}
+	return total
+}
+
+func retainsScratch(p core.DensePath) bool {
+	keptPaths = append(keptPaths, p) // want `aliases walk scratch`
+	return true
+}
+
+func detaches(p core.DensePath) bool {
+	keptPaths = append(keptPaths, p.Clone())
+	return true
+}
+
+// closure checks that FuncLit parameters are covered too.
+func closure() func(core.DensePath) bool {
+	return func(p core.DensePath) bool {
+		keptPaths = append(keptPaths, p) // want `aliases walk scratch`
+		return true
+	}
+}

@@ -1,0 +1,76 @@
+// Package pool exercises the sync.Pool hygiene rules: every Get needs a
+// Put on the same function's paths, and the pooled value must not outlive
+// the call.
+package pool
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var p = sync.Pool{New: func() any { return new(buf) }}
+
+var (
+	global *buf
+	ch     = make(chan *buf, 1)
+	keep   []*buf
+)
+
+type holder struct{ b *buf }
+
+// okDefer is the canonical shape: Get, defer Put.
+func okDefer() int {
+	v := p.Get().(*buf)
+	defer p.Put(v)
+	v.b = v.b[:0]
+	return len(v.b)
+}
+
+// okExplicit Puts without defer.
+func okExplicit() {
+	v := p.Get().(*buf)
+	v.b = append(v.b[:0], 'x')
+	p.Put(v)
+}
+
+func missingPut() int {
+	v := p.Get().(*buf) // want `value taken from p is never returned with p.Put on any path of missingPut`
+	return len(v.b)
+}
+
+func returned() *buf {
+	return p.Get().(*buf) // want `pooled value from p is returned to the caller`
+}
+
+func escapesReturn() *buf {
+	v := p.Get().(*buf)
+	defer p.Put(v)
+	return v // want `pooled value v from p is returned`
+}
+
+func escapesGlobal() {
+	v := p.Get().(*buf)
+	global = v // want `pooled value v from p is stored past the call`
+	p.Put(v)
+}
+
+func escapesField(h *holder) {
+	v := p.Get().(*buf)
+	h.b = v // want `pooled value v from p is stored past the call`
+	p.Put(v)
+}
+
+func escapesSend() {
+	v := p.Get().(*buf)
+	ch <- v // want `pooled value v from p is sent on a channel`
+}
+
+func escapesAppend() {
+	v := p.Get().(*buf)
+	keep = append(keep, v) // want `pooled value v from p is appended to a slice`
+}
+
+// handoff deliberately transfers ownership to the caller, the audited
+// getScratch/putScratch pattern.
+func handoff() *buf {
+	return p.Get().(*buf) //kwslint:ignore pooledescape fixture models a paired accessor whose caller owns the Put
+}

@@ -1,0 +1,223 @@
+// Package rangedeterminism checks the bug class behind the engine's
+// byte-identical-output guarantee (and behind the latent nondeterminism
+// PR 4 fixed): iterating a Go map in an order-sensitive way. Map iteration
+// order is deliberately random; a range over a map whose body appends to a
+// slice that is never sorted afterwards, writes rendered output, or invokes
+// an emit/yield function value produces output that differs run to run.
+//
+// The safe pattern — collect, sort, then consume — is recognized: an append
+// inside a map range is clean when the same slice is passed to a sort.* or
+// slices.Sort* call later in the function.
+package rangedeterminism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the rangedeterminism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "rangedeterminism",
+	Doc: "check that map iteration never feeds order-sensitive output\n\n" +
+		"Reports ranges over maps whose body appends to a slice with no later\n" +
+		"sort of that slice, writes formatted or stream output, or calls a\n" +
+		"function value (emit/yield callback) — all of which leak the map's\n" +
+		"random iteration order into observable results.",
+	Run: run,
+}
+
+// writerMethods are method names treated as ordered-output sinks.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// pendingAppend records an append to an outer slice inside a map range; it
+// becomes a finding unless a later sort covers the same target.
+type pendingAppend struct {
+	at     ast.Node
+	target string // canonical rendering of the appended-to expression
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var pending []pendingAppend
+	// sorted maps the rendered argument of each sort call to the position
+	// of the call, so appends before the sort are cleared.
+	type sortCall struct {
+		target string
+		pos    token.Pos
+	}
+	var sorts []sortCall
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name := analysis.CalleeName(info, call); isSortCall(name) && len(call.Args) > 0 {
+				sorts = append(sorts, sortCall{target: types.ExprString(call.Args[0]), pos: call.Pos()})
+			}
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := analysis.Deref(typeOf(info, rng.X)).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, fd, rng, &pending)
+		return true
+	})
+
+	for _, p := range pending {
+		covered := false
+		for _, s := range sorts {
+			if s.target == p.target && s.pos > p.at.Pos() {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(p.at.Pos(), "append to %s inside a range over a map with no later sort of %s; map iteration order is random — sort before the result becomes visible", p.target, p.target)
+		}
+	}
+}
+
+// checkMapRange inspects one map range body for order-sensitive sinks.
+func checkMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, pending *[]pendingAppend) {
+	info := pass.TypesInfo
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if ok {
+			for i, rhs := range st.Rhs {
+				call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+				if !isCall || !isAppend(info, call) || i >= len(st.Lhs) {
+					continue
+				}
+				if declaredWithin(info, st.Lhs[i], rng) {
+					continue // loop-local accumulation stays inside the loop
+				}
+				if keyedByRangeKey(info, st.Lhs[i], rng) {
+					continue // m[k] buckets are per-key; order cannot show
+				}
+				*pending = append(*pending, pendingAppend{at: st, target: types.ExprString(st.Lhs[i])})
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if v, isVar := info.Uses[fun].(*types.Var); isVar {
+				if _, isFunc := v.Type().Underlying().(*types.Signature); isFunc {
+					pass.Reportf(call.Pos(), "call of function value %s while ranging over a map; the callback observes random iteration order — iterate sorted keys instead", fun.Name)
+				}
+			}
+		case *ast.SelectorExpr:
+			name := analysis.CalleeName(info, call)
+			if strings.HasPrefix(name, "fmt.P") || strings.HasPrefix(name, "fmt.F") || writerMethods[fun.Sel.Name] {
+				pass.Reportf(call.Pos(), "%s writes output while ranging over a map; rendered output must not depend on random iteration order — iterate sorted keys instead", fun.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isSortCall recognizes the stdlib sort packages plus the repo convention of
+// Sort-prefixed helpers (relation.SortTupleIDs and kin) whose first argument
+// is the slice they order.
+func isSortCall(name string) bool {
+	if strings.HasPrefix(name, "sort.") || strings.HasPrefix(name, "slices.Sort") {
+		return true
+	}
+	base := name
+	if i := strings.LastIndexByte(base, '.'); i >= 0 {
+		base = base[i+1:]
+	}
+	return strings.HasPrefix(base, "Sort")
+}
+
+// keyedByRangeKey reports whether the assignment target is an index
+// expression whose index is exactly the range statement's key variable:
+// m[k] = append(m[k], ...) fills an independent bucket per key, so the
+// iteration order cannot become observable. An index computed from the key
+// (m[f(k)]) does not qualify — distinct keys may collide on one bucket.
+func keyedByRangeKey(info *types.Info, lhs ast.Expr, rng *ast.RangeStmt) bool {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	idxID, ok := ast.Unparen(idx.Index).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := info.Defs[keyID]
+	if keyObj == nil {
+		keyObj = info.Uses[keyID]
+	}
+	idxObj := info.Uses[idxID]
+	return keyObj != nil && idxObj == keyObj
+}
+
+// declaredWithin reports whether the assigned expression's base variable is
+// declared inside the range statement, i.e. the accumulation is loop-local.
+// Index and selector targets are walked to their root: appending into a
+// container that is itself loop-local cannot leak iteration order.
+func declaredWithin(info *types.Info, lhs ast.Expr, rng *ast.RangeStmt) bool {
+	e := ast.Unparen(lhs)
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = ast.Unparen(x.X)
+		case *ast.SelectorExpr:
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+		default:
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			return obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()
+		}
+	}
+}

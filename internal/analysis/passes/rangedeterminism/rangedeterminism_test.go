@@ -1,0 +1,19 @@
+package rangedeterminism
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestRangeDeterminism(t *testing.T) {
+	res := analysistest.Run(t, analysistest.TestData(), Analyzer, "rangedet")
+
+	for _, s := range res.Suppressions {
+		if s.Bad != "" {
+			t.Errorf("unexpected malformed directive: %s", s.Bad)
+		} else if !s.Used {
+			t.Errorf("%s:%d: suppression unused", s.Pos.Filename, s.Line)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package rangedet exercises the map-iteration determinism rules: appends
+// that survive the loop need a later sort, output and callbacks must not
+// run under random iteration order, and per-key buckets are exempt.
+package rangedet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside a range over a map`
+	}
+	return out
+}
+
+// appendThenSort is the sanctioned collect-sort-consume shape.
+func appendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortBeforeAppend does not count: the sort must come after the append.
+func sortBeforeAppend(m map[string]int) []string {
+	out := []string{"z", "a"}
+	sort.Strings(out)
+	for k := range m {
+		out = append(out, k) // want `append to out inside a range over a map`
+	}
+	return out
+}
+
+// loopLocal accumulation never leaves the iteration, so order cannot show.
+func loopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// buckets fills an independent entry per range key: exempt.
+func buckets(m map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}
+
+func mangle(k string) string { return strings.ToUpper(k) }
+
+// derivedKey may collide distinct keys on one bucket: not exempt.
+func derivedKey(m map[string][]int) map[string][]int {
+	out := map[string][]int{}
+	for k, vs := range m {
+		out[mangle(k)] = append(out[mangle(k)], vs...) // want `append to out\[mangle\(k\)\]`
+	}
+	return out
+}
+
+func render(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `WriteString writes output while ranging over a map`
+	}
+}
+
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `Println writes output while ranging over a map`
+	}
+}
+
+func emitAll(m map[string]int, emit func(string)) {
+	for k := range m {
+		emit(k) // want `call of function value emit while ranging over a map`
+	}
+}
+
+// sortedEmit iterates sorted keys; the second loop ranges a slice.
+func sortedEmit(m map[string]int, emit func(string)) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emit(k)
+	}
+}
+
+// SortInts mirrors the repo convention of Sort-prefixed ordering helpers.
+func SortInts(xs []int) { sort.Ints(xs) }
+
+func viaHelper(m map[int]bool) []int {
+	var xs []int
+	for k := range m {
+		xs = append(xs, k)
+	}
+	SortInts(xs)
+	return xs
+}
+
+// suppressed demonstrates a reasoned exception.
+func suppressed(m map[string]int, emit func(string)) {
+	for k := range m {
+		//kwslint:ignore rangedeterminism fixture demonstrates an audited order-insensitive callback
+		emit(k)
+	}
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// DirectiveAnalyzer is the pseudo-analyzer name attached to findings about
+// malformed //kwslint:ignore directives. It cannot be suppressed.
+const DirectiveAnalyzer = "kwslint"
+
+// Finding is one diagnostic of a run, resolved to a file position and
+// annotated with its suppression state.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+	// Suppressed marks findings matched by a valid //kwslint:ignore
+	// directive; Reason carries the directive's justification.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Result is the outcome of running a set of analyzers over a set of
+// packages.
+type Result struct {
+	// Findings holds every diagnostic, suppressed ones included, sorted by
+	// file, line, column, analyzer.
+	Findings []Finding
+	// Suppressions lists every //kwslint:ignore directive seen, valid or
+	// not, sorted by file and line, with Used reflecting this run.
+	Suppressions []*Suppression
+}
+
+// Active returns the findings that fail a lint run: everything not
+// suppressed by a valid directive.
+func (r *Result) Active() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every package and resolves suppression
+// directives. Analyzer errors (not findings) abort the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	if err := validate(analyzers); err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	res := &Result{}
+	for _, pkg := range pkgs {
+		sups := scanSuppressions(pkg, known)
+		res.Suppressions = append(res.Suppressions, sups...)
+
+		// Index valid directives by file:line for matching; malformed ones
+		// become findings of the reserved kwslint pseudo-analyzer.
+		type key struct {
+			file string
+			line int
+		}
+		byLine := make(map[key][]*Suppression)
+		for _, s := range sups {
+			if s.Bad != "" {
+				res.Findings = append(res.Findings, Finding{
+					Analyzer: DirectiveAnalyzer,
+					Pos:      s.Pos,
+					File:     s.Pos.Filename,
+					Line:     s.Pos.Line,
+					Col:      s.Pos.Column,
+					Message:  s.Bad,
+				})
+				continue
+			}
+			k := key{s.Pos.Filename, s.Line}
+			byLine[k] = append(byLine[k], s)
+		}
+
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				f := Finding{
+					Analyzer: a.Name,
+					Pos:      pos,
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  d.Message,
+				}
+				for _, s := range byLine[key{pos.Filename, pos.Line}] {
+					if s.Analyzer == a.Name {
+						f.Suppressed = true
+						f.Reason = s.Reason
+						s.Used = true
+						break
+					}
+				}
+				res.Findings = append(res.Findings, f)
+			}
+		}
+	}
+
+	// Identical findings collapse: nested constructs (a map range inside a
+	// map range) can make one defect site report once per level.
+	seen := make(map[Finding]bool, len(res.Findings))
+	dedup := res.Findings[:0]
+	for _, f := range res.Findings {
+		if !seen[f] {
+			seen[f] = true
+			dedup = append(dedup, f)
+		}
+	}
+	res.Findings = dedup
+
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	sort.Slice(res.Suppressions, func(i, j int) bool {
+		a, b := res.Suppressions[i], res.Suppressions[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return res, nil
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// directivePrefix is the suppression comment marker, following the //go:
+// convention of no space after the slashes.
+const directivePrefix = "//kwslint:ignore"
+
+// Suppression is one parsed //kwslint:ignore directive.
+type Suppression struct {
+	// Pos locates the directive comment itself.
+	Pos token.Position
+	// Analyzer is the analyzer name the directive names.
+	Analyzer string
+	// Reason is the mandatory justification text.
+	Reason string
+	// Line is the source line the directive suppresses: its own line for a
+	// trailing comment, the following line for a standalone one.
+	Line int
+	// Used reports whether the directive matched at least one finding in
+	// the run that produced it.
+	Used bool
+	// Bad is non-empty when the directive is malformed (unknown analyzer,
+	// missing reason); malformed directives suppress nothing and are
+	// reported as unsuppressable findings by the driver.
+	Bad string
+}
+
+// scanSuppressions parses every //kwslint:ignore directive of a package.
+// known is the set of analyzer names valid in a directive.
+func scanSuppressions(pkg *Package, known map[string]bool) []*Suppression {
+	var out []*Suppression
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				out = append(out, parseDirective(pkg, c.Text, pkg.Fset.Position(c.Slash), known))
+			}
+		}
+	}
+	return out
+}
+
+// parseDirective parses one directive comment at pos.
+func parseDirective(pkg *Package, text string, pos token.Position, known map[string]bool) *Suppression {
+	s := &Suppression{Pos: pos, Line: pos.Line}
+	if standalone(pkg, pos) {
+		s.Line = pos.Line + 1
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if rest != "" && !unicode.IsSpace(rune(rest[0])) {
+		s.Bad = "malformed directive: expected //kwslint:ignore <analyzer> <reason>"
+		return s
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		s.Bad = "missing analyzer name: expected //kwslint:ignore <analyzer> <reason>"
+		return s
+	}
+	s.Analyzer = fields[0]
+	s.Reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+	if !known[s.Analyzer] {
+		s.Bad = "unknown analyzer " + strconv.Quote(s.Analyzer)
+		return s
+	}
+	if s.Reason == "" {
+		s.Bad = "missing reason: a //kwslint:ignore directive must say why"
+		return s
+	}
+	return s
+}
+
+// standalone reports whether only whitespace precedes the comment on its
+// line, in which case the directive applies to the next line.
+func standalone(pkg *Package, pos token.Position) bool {
+	src, ok := pkg.Sources[pos.Filename]
+	if !ok {
+		return false
+	}
+	// pos.Offset is the byte offset of the '/'; walk back to the start of
+	// the line checking for non-whitespace.
+	for i := pos.Offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t':
+			continue
+		default:
+			return false
+		}
+	}
+	return true // first line of the file
+}

@@ -1,0 +1,27 @@
+// Package dirs exercises //kwslint:ignore directive parsing: trailing and
+// standalone placement, unknown analyzer names, missing reasons, and
+// directives that match no finding.
+package dirs
+
+func a() {}
+
+//kwslint:ignore testpass standalone directive covers the next line
+func b() {}
+
+func c() {} //kwslint:ignore testpass trailing directive covers its own line
+
+func d() {} //kwslint:ignore nosuch unknown analyzer names are malformed
+
+func e() {} //kwslint:ignore testpass
+
+//kwslint:ignore testpass no finding ever lands on the next line
+var quiet = 1
+
+func use() int {
+	a()
+	b()
+	c()
+	d()
+	e()
+	return quiet
+}
