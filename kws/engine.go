@@ -12,6 +12,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/parallel"
 	"repro/internal/ranking"
+	"repro/internal/relation"
 	"repro/internal/symtab"
 )
 
@@ -496,9 +497,19 @@ func toResult(a Answer, rank int, score float64, label Labeler) Result {
 	for i, t := range a.Connection.Tuples {
 		tuples[i] = label(t)
 	}
+	// Distinct tuple IDs may render to the same label (Labeler is
+	// caller-supplied), so the label-keyed map is filled in sorted-ID order:
+	// colliding entries merge deterministically instead of one surviving at
+	// random per map iteration order.
 	matched := make(map[string][]string, len(a.Matches))
-	for id, kws := range a.Matches {
-		matched[label(id)] = append([]string(nil), kws...)
+	ids := make([]TupleID, 0, len(a.Matches))
+	for id := range a.Matches {
+		ids = append(ids, id)
+	}
+	relation.SortTupleIDs(ids)
+	for _, id := range ids {
+		l := label(id)
+		matched[l] = append(matched[l], a.Matches[id]...)
 	}
 	return Result{
 		Rank:                        rank,

@@ -1,0 +1,61 @@
+package kws
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// TestToResultMergesCollidingLabelsDeterministically guards the fix for a
+// nondeterminism bug kws-lint's rangedeterminism pass surfaced: toResult
+// filled the label-keyed MatchedKeywords map while ranging over the
+// ID-keyed Matches map, so when a caller-supplied Labeler rendered two
+// distinct tuple IDs to the same label, which keyword list survived
+// depended on random map iteration order. Colliding labels must instead
+// merge, in sorted-ID order, on every run.
+func TestToResultMergesCollidingLabelsDeterministically(t *testing.T) {
+	ids := []relation.TupleID{
+		{Relation: "e", Key: "1"},
+		{Relation: "e", Key: "2"},
+		{Relation: "p", Key: "1"},
+	}
+	a := Answer{
+		Connection: core.Connection{Tuples: ids[:1]},
+		Analysis:   core.Analysis{Connection: core.Connection{Tuples: ids[:1]}},
+		Matches: map[relation.TupleID][]string{
+			ids[0]: {"Smith"},
+			ids[1]: {"Turing"},
+			ids[2]: {"XML"},
+		},
+	}
+	collide := func(relation.TupleID) string { return "X" }
+	// e[1] < e[2] < p[1], so the merged list is fixed regardless of map
+	// iteration order.
+	want := map[string][]string{"X": {"Smith", "Turing", "XML"}}
+	for i := 0; i < 100; i++ {
+		got := toResult(a, 0, 0, collide).MatchedKeywords
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d: MatchedKeywords = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestToResultCopiesMatchedKeywords checks the rendered result does not
+// alias the answer's keyword slices: mutating the result must not reach
+// back into the engine's answer.
+func TestToResultCopiesMatchedKeywords(t *testing.T) {
+	id := relation.TupleID{Relation: "e", Key: "1"}
+	kws := []string{"Smith", "XML"}
+	a := Answer{
+		Connection: core.Connection{Tuples: []relation.TupleID{id}},
+		Analysis:   core.Analysis{Connection: core.Connection{Tuples: []relation.TupleID{id}}},
+		Matches:    map[relation.TupleID][]string{id: kws},
+	}
+	res := toResult(a, 0, 0, func(relation.TupleID) string { return "X" })
+	res.MatchedKeywords["X"][0] = "clobbered"
+	if kws[0] != "Smith" {
+		t.Fatalf("result aliases the answer's keyword slice: %v", kws)
+	}
+}
