@@ -269,11 +269,8 @@ func (st *stager) net() (removed, added []*relation.Tuple) {
 	for _, tup := range st.added {
 		added = append(added, tup)
 	}
-	byID := func(s []*relation.Tuple) {
-		sort.Slice(s, func(i, j int) bool { return s[i].ID().Less(s[j].ID()) })
-	}
-	byID(removed)
-	byID(added)
+	sort.Slice(removed, func(i, j int) bool { return removed[i].ID().Less(removed[j].ID()) })
+	sort.Slice(added, func(i, j int) bool { return added[i].ID().Less(added[j].ID()) })
 	return removed, added
 }
 

@@ -1,0 +1,35 @@
+package kws
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestStagerNetIsSorted guards net()'s ordering contract: the per-batch
+// removed/added maps must drain into ID-sorted slices, not map order.
+func TestStagerNetIsSorted(t *testing.T) {
+	db := PaperExample().db
+	st := newStager(db)
+	for _, tbl := range db.Tables() {
+		for _, tup := range tbl.Tuples() {
+			// Remove first, then add: recordRemove of a tuple added in the
+			// same batch would cancel the addition.
+			st.recordRemove(tup)
+			st.recordAdd(tup)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		removed, added := st.net()
+		for _, s := range [][]*relation.Tuple{removed, added} {
+			if len(s) < 2 {
+				t.Fatalf("expected several tuples, got %d", len(s))
+			}
+			for j := 1; j < len(s); j++ {
+				if !s[j-1].ID().Less(s[j].ID()) {
+					t.Fatalf("run %d: net() out of order at %d: %v !< %v", i, j, s[j-1].ID(), s[j].ID())
+				}
+			}
+		}
+	}
+}
