@@ -38,6 +38,9 @@ var errStopWalk = errors.New("core: walk stopped")
 // data graph with at most maxEdges joins, in deterministic order (shorter
 // first, then by canonical key). It is the basic machinery behind both the
 // paper-style connection enumeration and instance-level corroboration.
+//
+// Deprecated: use EnumerateConnectionsContext, which is cancellable; this
+// shim runs under context.Background().
 func EnumerateConnections(g *datagraph.Graph, from, to relation.TupleID, maxEdges int) []Connection {
 	out, _ := EnumerateConnectionsContext(context.Background(), g, from, to, maxEdges)
 	return out
@@ -68,6 +71,9 @@ func EnumerateConnectionsContext(ctx context.Context, g *datagraph.Graph, from, 
 // most the same number of joins (or the analyzer's corroboration budget,
 // when set). This reproduces the paper's observation that connections 3, 4
 // and 7 are close at the instance level while connection 6 is not.
+//
+// Deprecated: use AnalyzeWithInstanceContext, which is cancellable; this
+// shim runs under context.Background().
 func (a *Analyzer) AnalyzeWithInstance(c Connection, g *datagraph.Graph) (Analysis, error) {
 	return a.AnalyzeWithInstanceContext(context.Background(), c, g)
 }
@@ -109,8 +115,10 @@ func (a *Analyzer) AnalyzeWithInstanceContext(ctx context.Context, c Connection,
 }
 
 // AnalyzeAll analyses a batch of connections with instance-level
-// corroboration, preserving order, under a background context; use
-// AnalyzeAllContext when the batch must be cancellable.
+// corroboration, preserving order, under a background context.
+//
+// Deprecated: use AnalyzeAllContext, which is cancellable; this shim runs
+// under context.Background().
 func (a *Analyzer) AnalyzeAll(cs []Connection, g *datagraph.Graph) ([]Analysis, error) {
 	return a.AnalyzeAllContext(context.Background(), cs, g)
 }

@@ -332,7 +332,7 @@ type scratch struct {
 
 var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
 
-func getScratch() *scratch   { return scratchPool.Get().(*scratch) }
+func getScratch() *scratch   { return scratchPool.Get().(*scratch) } //kwslint:ignore pooledescape paired accessor of putScratch; every caller defers putScratch
 func putScratch(sc *scratch) { scratchPool.Put(sc) }
 
 // Match returns the tuples matching the keyword, sorted by descending score

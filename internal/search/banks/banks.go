@@ -172,7 +172,7 @@ func getExpansion(n int) *expansion {
 	}
 	ex.queue = ex.queue[:0]
 	ex.reached = 0
-	return ex
+	return ex //kwslint:ignore pooledescape paired accessor of putExpansion; every caller returns ex with putExpansion
 }
 
 func putExpansion(ex *expansion) { expansionPool.Put(ex) }
@@ -228,6 +228,9 @@ func (e *Engine) pathToMatch(ex *expansion, root uint32) []datagraph.Edge {
 
 // Search runs the backward expanding search and returns up to MaxResults
 // answer trees ordered by ascending weight, then by signature.
+//
+// Deprecated: use SearchContext, which is cancellable; this shim runs under
+// context.Background().
 func (e *Engine) Search(keywords []string) ([]Tree, error) {
 	return e.SearchContext(context.Background(), keywords, e.opts)
 }

@@ -170,6 +170,9 @@ func inducedConnected(g *datagraph.Graph, tuples []relation.TupleID) bool {
 
 // Search returns the MTJNTs answering the query, ordered by ascending size
 // then canonical key.
+//
+// Deprecated: use SearchContext, which is cancellable; this shim runs under
+// context.Background().
 func (e *Engine) Search(keywords []string) ([]Network, error) {
 	return e.SearchContext(context.Background(), keywords, e.opts)
 }
@@ -500,6 +503,7 @@ func (e *Engine) CandidateNetworks(keywords []string, maxEdges int) ([]Candidate
 						continue
 					}
 					for _, p := range sg.EnumeratePaths(from, to, maxEdges) {
+						//kwslint:ignore rangedeterminism add dedups into out, which the sort.Slice below orders totally by (len(Relations), String())
 						add(CandidateNetwork{Relations: p.Nodes, Keywords: []string{sorted[i], sorted[j]}})
 					}
 				}

@@ -145,6 +145,9 @@ func (e *Engine) Analyzer() *core.Analyzer { return e.analyzer }
 // deduplicated (a path and its reverse count once) and ordered by ascending
 // RDB length, then by canonical connection key; ranking strategies are
 // applied by the caller (see internal/ranking).
+//
+// Deprecated: use SearchContext, which is cancellable; this shim runs under
+// context.Background().
 func (e *Engine) Search(keywords []string) ([]Answer, error) {
 	return e.SearchContext(context.Background(), keywords, e.opts)
 }
