@@ -6,6 +6,13 @@
 //	kwsd                                    # paper example on :8080
 //	kwsd -db synthetic -scale 4 -addr :9000
 //	kwsd -max-inflight 128 -timeout 5s -cache-bytes 134217728
+//	kwsd -data-dir /var/lib/kwsd           # durable: WAL + snapshots
+//
+// With -data-dir the server persists every acknowledged mutation to a
+// write-ahead log and snapshots the relational state every -snapshot-every
+// generations; on boot it recovers the newest durable generation instead of
+// starting over from the seed database. Without -data-dir nothing touches
+// disk and a restart serves the seed data again.
 //
 // Endpoints (see docs/http-api.md for the full wire reference):
 //
@@ -33,6 +40,7 @@ import (
 
 	"repro/internal/httpapi"
 	"repro/internal/paperdb"
+	"repro/internal/store"
 	"repro/kws"
 )
 
@@ -47,11 +55,13 @@ func main() {
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request execution budget")
 		cacheBytes  = flag.Int64("cache-bytes", 64<<20, "result cache budget in bytes")
 		cacheShards = flag.Int("cache-shards", 16, "result cache shard count")
+		dataDir     = flag.String("data-dir", "", "directory for the WAL and snapshots; empty serves memory-only")
+		snapEvery   = flag.Int("snapshot-every", 64, "generations between automatic snapshots (0 disables; WAL still grows)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *addr, *database, *scale, *seed, *parallelism, httpapi.Options{
+	if err := run(ctx, *addr, *database, *scale, *seed, *parallelism, *dataDir, *snapEvery, httpapi.Options{
 		MaxInFlight: *maxInFlight,
 		Timeout:     *timeout,
 		CacheBytes:  *cacheBytes,
@@ -62,8 +72,9 @@ func main() {
 	}
 }
 
-// buildEngine constructs the served engine for the named database.
-func buildEngine(database string, scale int, seed int64, parallelism int) (*kws.Engine, error) {
+// buildEngine constructs the served engine for the named database; extra
+// options (durability wiring) are appended after the database defaults.
+func buildEngine(database string, scale int, seed int64, parallelism int, extra ...kws.Option) (*kws.Engine, error) {
 	var (
 		db      *kws.Database
 		labeler kws.Labeler
@@ -85,16 +96,34 @@ func buildEngine(database string, scale int, seed int64, parallelism int) (*kws.
 	if labeler != nil {
 		opts = append(opts, kws.WithLabeler(labeler))
 	}
-	return kws.New(db, opts...)
+	return kws.New(db, append(opts, extra...)...)
 }
 
 // run builds the engine, mounts the API and serves until ctx is cancelled,
-// then drains in-flight requests. If ready is non-nil it receives the bound
+// then drains in-flight requests. With a non-empty dataDir the engine runs
+// durably: recovery before serving, WAL appends per mutation, a final
+// checkpoint on graceful shutdown. If ready is non-nil it receives the bound
 // address once the listener is up (used by tests and :0 listens).
-func run(ctx context.Context, addr, database string, scale int, seed int64, parallelism int, opts httpapi.Options, ready chan<- string) error {
-	engine, err := buildEngine(database, scale, seed, parallelism)
+func run(ctx context.Context, addr, database string, scale int, seed int64, parallelism int, dataDir string, snapshotEvery int, opts httpapi.Options, ready chan<- string) error {
+	var engineOpts []kws.Option
+	var st *store.FileStore
+	if dataDir != "" {
+		var err error
+		if st, err = store.Open(dataDir); err != nil {
+			return err
+		}
+		defer st.Close()
+		engineOpts = append(engineOpts, kws.WithStore(st), kws.WithSnapshotEvery(snapshotEvery))
+	}
+	engine, err := buildEngine(database, scale, seed, parallelism, engineOpts...)
 	if err != nil {
 		return err
+	}
+	if st != nil {
+		ps, _ := engine.PersistStats()
+		log.Printf("kwsd: recovered generation %d from %s (snapshot generation %d, %d WAL records replayed in %s)",
+			engine.Generation(), dataDir, ps.SnapshotGeneration, ps.ReplayedRecords,
+			ps.ReplayDuration.Round(time.Millisecond))
 	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -129,6 +158,14 @@ func run(ctx context.Context, addr, database string, scale int, seed int64, para
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return err
+	}
+	if st != nil {
+		// Snapshot the final generation so the next boot loads it directly
+		// instead of replaying the log. Failure is not fatal: the WAL
+		// already holds every acknowledged generation.
+		if err := engine.Checkpoint(); err != nil {
+			log.Printf("kwsd: shutdown checkpoint failed (WAL remains authoritative): %v", err)
+		}
 	}
 	return <-errc
 }

@@ -245,8 +245,9 @@ func (s *Server) streamSearch(ctx context.Context, w http.ResponseWriter, q Quer
 }
 
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
-	defer cancel()
+	// Decode and validate before taking an in-flight slot, mirroring
+	// handleSearch: a slow or malformed client must not pin admission
+	// capacity while it trickles bytes.
 	var req MutateRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		s.clientError(w, err)
@@ -265,20 +266,47 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		}
 		ops[i] = op
 	}
+	// Mutations share the searches' admission budget: Apply serializes on
+	// the engine's write lock (and fsyncs when durable), so unbounded
+	// mutate requests would queue behind each other exactly the way
+	// admission control exists to prevent.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.shed.Inc()
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		s.writeError(w, http.StatusTooManyRequests, "server at max in-flight requests, retry later")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
 	gen, err := s.engine.Apply(ctx, kws.Mutation{Ops: ops})
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
-			s.errs.Inc()
-			s.writeError(w, http.StatusGatewayTimeout, err.Error())
-			return
-		}
-		// Every other Apply failure — unknown table, bad key, type
-		// mismatch — is a problem with the request.
-		s.clientError(w, err)
+		s.mutateError(w, err)
 		return
 	}
 	s.mutations.Inc()
 	s.writeJSON(w, http.StatusOK, MutateResponse{Generation: gen})
+}
+
+// mutateError maps an Apply failure to a status: a durability failure is
+// the server's 500, the server's own budget expiring is 504, a client that
+// went away gets silence (there is nobody to write to — mirroring
+// searchError), and everything else — unknown table, bad key, type
+// mismatch — is the client's 400.
+func (s *Server) mutateError(w http.ResponseWriter, err error) {
+	s.errs.Inc()
+	switch {
+	case errors.Is(err, kws.ErrPersistence):
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, context.Canceled):
+		// The client went away; nothing useful to write.
+	default:
+		s.writeError(w, http.StatusBadRequest, err.Error())
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -308,10 +336,27 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			}
 		}
 	}
+	// Every counter below reads from the one registry snapshot taken above:
+	// mixing snapshot and live counter reads let a response report a shed
+	// rate inconsistent with its own searches/shed fields when requests
+	// landed between the two reads. InFlight is instantaneous by nature and
+	// stays a live read.
 	searches, shed := snap.Counters["searches"], snap.Counters["shed"]
 	shedRate := 0.0
 	if searches+shed > 0 {
 		shedRate = float64(shed) / float64(searches+shed)
+	}
+	var persistence *PersistenceStats
+	if ps, ok := s.engine.PersistStats(); ok {
+		persistence = &PersistenceStats{
+			WALBytes:               ps.WALBytes,
+			WALRecords:             ps.WALRecords,
+			LastSnapshotGeneration: ps.SnapshotGeneration,
+			SnapshotBytes:          ps.SnapshotBytes,
+			ReplayedRecords:        ps.ReplayedRecords,
+			ReplayDurationMS:       float64(ps.ReplayDuration) / float64(time.Millisecond),
+			SnapshotErrors:         ps.SnapshotErrors,
+		}
 	}
 	s.writeJSON(w, http.StatusOK, StatsResponse{
 		Generation: s.engine.Generation(),
@@ -329,10 +374,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			HitRate:   cs.HitRate(),
 		},
 		Server: ServerStats{
-			Searches:    s.searches.Value(),
-			Mutations:   s.mutations.Value(),
-			Errors:      s.errs.Value(),
-			Shed:        s.shed.Value(),
+			Searches:    searches,
+			Mutations:   snap.Counters["mutations"],
+			Errors:      snap.Counters["errors"],
+			Shed:        shed,
 			ShedRate:    shedRate,
 			InFlight:    len(s.sem),
 			MaxInFlight: cap(s.sem),
@@ -343,7 +388,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			GCPauseTotalMS: float64(snap.Gauges[metrics.GaugeGCPauseTotalNs]) / 1e6,
 			NumGC:          snap.Gauges[metrics.GaugeNumGC],
 		},
-		Latency: latency,
+		Latency:     latency,
+		Persistence: persistence,
 	})
 }
 

@@ -1,0 +1,199 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/store"
+	"repro/kws"
+)
+
+// Regressions for the mutate-path fixes (admission control, disconnect
+// handling, persistence errors) and the stats persistence block.
+
+func deleteDependentOp() MutateRequest {
+	return MutateRequest{Ops: []Op{{Op: "delete", Table: "DEPENDENT", Key: map[string]any{"ID": "t2"}}}}
+}
+
+// TestMutateClientDisconnectIsSilent pins the disconnect fix: a mutate whose
+// client went away mid-Apply must not be misclassified as a 400 — like
+// searchError, the handler writes nothing at all.
+func TestMutateClientDisconnectIsSilent(t *testing.T) {
+	s, _, _ := newTestServer(t, Options{})
+	body, err := json.Marshal(deleteDependentOp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone when Apply runs
+	req := httptest.NewRequest(http.MethodPost, "/v1/mutate", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Body.Len() != 0 {
+		t.Fatalf("disconnected mutate wrote a body: %q", rec.Body.String())
+	}
+	// The failure is still counted, mirroring searchError.
+	if s.errs.Value() != 1 {
+		t.Fatalf("errors counter = %d, want 1", s.errs.Value())
+	}
+	// Nothing was applied: the engine still answers from generation 0.
+	if s.engine.Generation() != 0 {
+		t.Fatalf("generation = %d after cancelled mutate, want 0", s.engine.Generation())
+	}
+}
+
+// TestMutateShedsAtMaxInFlight pins the admission-control fix: mutations
+// share the searches' in-flight budget and shed with 429 + Retry-After
+// instead of queueing unboundedly on the engine's write lock.
+func TestMutateShedsAtMaxInFlight(t *testing.T) {
+	s, ts, _ := newTestServer(t, Options{MaxInFlight: 2})
+	// Fill the admission slots directly; no in-flight requests needed.
+	for i := 0; i < cap(s.sem); i++ {
+		s.sem <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < cap(s.sem); i++ {
+			<-s.sem
+		}
+	}()
+	resp := postJSON(t, ts.URL+"/v1/mutate", deleteDependentOp())
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != retryAfterSeconds {
+		t.Fatalf("Retry-After = %q, want %q", got, retryAfterSeconds)
+	}
+	if s.shed.Value() != 1 {
+		t.Fatalf("shed counter = %d, want 1", s.shed.Value())
+	}
+	// The shed mutate was never applied.
+	if s.engine.Generation() != 0 {
+		t.Fatalf("generation = %d after shed mutate, want 0", s.engine.Generation())
+	}
+}
+
+// TestMutatePersistenceErrorIs500 pins the status mapping: a durability
+// failure is the server's fault, not the client's.
+func TestMutatePersistenceErrorIs500(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	faulty := store.NewFaultStore(st)
+	engine, err := kws.New(kws.PaperExample(), kws.WithStore(faulty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(engine, Options{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	faulty.Point = store.CrashPreAppend
+	resp := postJSON(t, ts.URL+"/v1/mutate", deleteDependentOp())
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if engine.Generation() != 0 {
+		t.Fatalf("generation = %d after failed append, want 0", engine.Generation())
+	}
+	// With the fault cleared the same mutation goes through.
+	faulty.Point = store.CrashNone
+	ok := postJSON(t, ts.URL+"/v1/mutate", deleteDependentOp())
+	defer ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("retried status = %d, want 200", ok.StatusCode)
+	}
+}
+
+// TestStatsCountersSelfConsistent pins the snapshot fix: the shed rate must
+// be computable from the searches and shed fields of the SAME response.
+func TestStatsCountersSelfConsistent(t *testing.T) {
+	s, ts, _ := newTestServer(t, Options{MaxInFlight: 1})
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, ts.URL+"/v1/search", SearchRequest{Query: &smithXML})
+		resp.Body.Close()
+	}
+	// Force two sheds by filling the only slot.
+	s.sem <- struct{}{}
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/v1/search", SearchRequest{Query: &smithXML})
+		resp.Body.Close()
+	}
+	<-s.sem
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[StatsResponse](t, resp)
+	srv := stats.Server
+	if srv.Searches != 3 || srv.Shed != 2 {
+		t.Fatalf("searches=%d shed=%d, want 3 and 2", srv.Searches, srv.Shed)
+	}
+	want := float64(srv.Shed) / float64(srv.Searches+srv.Shed)
+	if srv.ShedRate != want {
+		t.Fatalf("shed_rate = %v, inconsistent with searches=%d shed=%d (want %v)",
+			srv.ShedRate, srv.Searches, srv.Shed, want)
+	}
+	if stats.Persistence != nil {
+		t.Fatal("memory-only server reported a persistence block")
+	}
+}
+
+// TestStatsPersistenceBlock checks the persistence block of a durable
+// server end to end: boot, mutate, checkpoint, all reflected.
+func TestStatsPersistenceBlock(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	engine, err := kws.New(kws.PaperExample(), kws.WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(engine, Options{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp := postJSON(t, ts.URL+"/v1/mutate", deleteDependentOp())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	sr, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[StatsResponse](t, sr)
+	p := stats.Persistence
+	if p == nil {
+		t.Fatal("durable server omitted the persistence block")
+	}
+	if p.WALRecords != 1 || p.WALBytes <= 0 {
+		t.Fatalf("wal stats = %+v, want 1 record", p)
+	}
+	if p.ReplayedRecords != 0 || p.SnapshotErrors != 0 {
+		t.Fatalf("fresh boot stats = %+v, want no replay and no errors", p)
+	}
+
+	if err := engine.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	sr2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := decode[StatsResponse](t, sr2).Persistence
+	if p2.WALRecords != 0 || p2.LastSnapshotGeneration != 1 || p2.SnapshotBytes <= 0 {
+		t.Fatalf("post-checkpoint stats = %+v, want empty WAL and snapshot gen 1", p2)
+	}
+}

@@ -244,6 +244,9 @@ type StatsResponse struct {
 	Server     ServerStats      `json:"server"`
 	Memory     MemoryStats      `json:"memory"`
 	Latency    map[string]Quant `json:"latency"`
+	// Persistence is present only when the engine runs with a durability
+	// store (kwsd -data-dir); memory-only servers omit the block.
+	Persistence *PersistenceStats `json:"persistence,omitempty"`
 }
 
 // EngineStats summarises the served database's current generation.
@@ -277,6 +280,18 @@ type ServerStats struct {
 	ShedRate    float64 `json:"shed_rate"`
 	InFlight    int     `json:"in_flight"`
 	MaxInFlight int     `json:"max_in_flight"`
+}
+
+// PersistenceStats mirrors kws.PersistStats on the wire: the write-ahead
+// log, the latest snapshot, and what recovery did at boot.
+type PersistenceStats struct {
+	WALBytes               int64   `json:"wal_bytes"`
+	WALRecords             int64   `json:"wal_records"`
+	LastSnapshotGeneration uint64  `json:"last_snapshot_generation"`
+	SnapshotBytes          int64   `json:"snapshot_bytes"`
+	ReplayedRecords        int64   `json:"replayed_records"`
+	ReplayDurationMS       float64 `json:"replay_duration_ms"`
+	SnapshotErrors         int64   `json:"snapshot_errors"`
 }
 
 // MemoryStats reports process heap gauges sampled from runtime.MemStats at

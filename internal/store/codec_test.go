@@ -1,0 +1,205 @@
+package store
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// testMutation builds a deterministic mutation batch that exercises every
+// value tag and op kind.
+func testMutation(i int) Mutation {
+	return Mutation{Ops: []Op{
+		{
+			Kind:  1,
+			Table: "person",
+			Row: map[string]any{
+				"id":     int64(i),
+				"name":   fmt.Sprintf("person-%d", i),
+				"score":  float64(i) / 4,
+				"active": i%2 == 0,
+				"note":   nil,
+			},
+		},
+		{
+			Kind:  3,
+			Table: "person",
+			Key:   map[string]any{"id": int64(i)},
+			Row:   map[string]any{"name": fmt.Sprintf("renamed-%d", i)},
+		},
+		{
+			Kind:  2,
+			Table: "city",
+			Key:   map[string]any{"id": int64(i + 1000)},
+		},
+	}}
+}
+
+// testDatabase builds a two-table database with a foreign key, nullable
+// columns, and every column type the codec handles.
+func testDatabase(t *testing.T) *relation.Database {
+	t.Helper()
+	db := relation.NewDatabase("storetest")
+	city, err := relation.NewSchema("city",
+		[]relation.Column{
+			{Name: "id", Type: relation.TypeInt},
+			{Name: "name", Type: relation.TypeString},
+		},
+		[]string{"id"})
+	if err != nil {
+		t.Fatalf("city schema: %v", err)
+	}
+	person, err := relation.NewSchema("person",
+		[]relation.Column{
+			{Name: "id", Type: relation.TypeInt},
+			{Name: "name", Type: relation.TypeString},
+			{Name: "bio", Type: relation.TypeText, Nullable: true},
+			{Name: "score", Type: relation.TypeFloat, Nullable: true},
+			{Name: "active", Type: relation.TypeBool, Nullable: true},
+			{Name: "city_id", Type: relation.TypeInt, Nullable: true},
+		},
+		[]string{"id"},
+		relation.ForeignKey{Name: "fk_city", Columns: []string{"city_id"}, RefRelation: "city", RefColumns: []string{"id"}})
+	if err != nil {
+		t.Fatalf("person schema: %v", err)
+	}
+	ct, err := db.CreateTable(city)
+	if err != nil {
+		t.Fatalf("create city: %v", err)
+	}
+	pt, err := db.CreateTable(person)
+	if err != nil {
+		t.Fatalf("create person: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ct.InsertRow(relation.Int(int64(i)), relation.String(fmt.Sprintf("city-%d", i))); err != nil {
+			t.Fatalf("insert city: %v", err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		vals := []relation.Value{
+			relation.Int(int64(i)),
+			relation.String(fmt.Sprintf("person-%d", i)),
+			relation.Text(fmt.Sprintf("bio of person %d", i)),
+			relation.Float(float64(i) * 1.5),
+			relation.Bool(i%2 == 0),
+			relation.Int(int64(i % 3)),
+		}
+		if i == 4 {
+			vals[2], vals[3], vals[4], vals[5] = relation.Null(), relation.Null(), relation.Null(), relation.Null()
+		}
+		if _, err := pt.InsertRow(vals...); err != nil {
+			t.Fatalf("insert person: %v", err)
+		}
+	}
+	return db
+}
+
+func TestMutationRoundTrip(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		m := testMutation(i)
+		payload := appendMutation(nil, uint64(i+1), m)
+		gen, got, err := decodeMutation(payload)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if gen != uint64(i+1) {
+			t.Fatalf("gen = %d, want %d", gen, i+1)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("roundtrip mismatch:\n got %#v\nwant %#v", got, m)
+		}
+	}
+}
+
+func TestMutationEncodingCanonical(t *testing.T) {
+	// Re-encoding a decoded payload must reproduce it byte for byte; the
+	// fuzz target relies on this identity.
+	payload := appendMutation(nil, 7, testMutation(2))
+	gen, m, err := decodeMutation(payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	again := appendMutation(nil, gen, m)
+	if string(again) != string(payload) {
+		t.Fatalf("re-encoding differs:\n got %x\nwant %x", again, payload)
+	}
+}
+
+func TestDecodeMutationRejects(t *testing.T) {
+	valid := appendMutation(nil, 3, testMutation(0))
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"trailing bytes", append(append([]byte(nil), valid...), 0)},
+		{"truncated", valid[:len(valid)-1]},
+		{"unknown kind", appendUvarintHelper(appendString(append(binary_AppendUvarint2(1, 1), 9), "t"), 0)},
+		{"non-minimal uvarint", []byte{0x83, 0x00}},
+		{"huge op count", append(binary_AppendUvarint2(1, 1<<40), 0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := decodeMutation(tc.buf); err == nil {
+				t.Fatalf("decode accepted %x", tc.buf)
+			}
+		})
+	}
+}
+
+// binary_AppendUvarint2 builds a payload prefix of uvarints for the reject
+// table without pulling encoding/binary into every case literal.
+func binary_AppendUvarint2(vs ...uint64) []byte {
+	var out []byte
+	for _, v := range vs {
+		out = appendUvarintHelper(out, v)
+	}
+	return out
+}
+
+func appendUvarintHelper(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func TestDecodeMutationRejectsUnsortedKeys(t *testing.T) {
+	// Hand-build an op whose map keys are out of order: gen 1, 1 op, kind 1,
+	// table "t", key map with 2 entries "b" then "a", empty row map.
+	buf := binary_AppendUvarint2(1, 1)
+	buf = append(buf, 1)
+	buf = appendString(buf, "t")
+	buf = appendUvarintHelper(buf, 2)
+	buf = appendString(buf, "b")
+	buf = append(buf, tagNil)
+	buf = appendString(buf, "a")
+	buf = append(buf, tagNil)
+	buf = appendUvarintHelper(buf, 0)
+	if _, _, err := decodeMutation(buf); err == nil {
+		t.Fatal("decode accepted out-of-order map keys")
+	}
+}
+
+func TestAppendValueCanonicalizesInt(t *testing.T) {
+	a := appendValue(nil, int(42))
+	b := appendValue(nil, int64(42))
+	if string(a) != string(b) {
+		t.Fatalf("int and int64 encode differently: %x vs %x", a, b)
+	}
+	if v := appendValue(nil, struct{}{}); v[0] != tagNil {
+		t.Fatalf("unsupported type tag = %d, want nil tag", v[0])
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40), 1<<63 - 1, -1 << 63} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Fatalf("unzigzag(zigzag(%d)) = %d", v, got)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/relation"
+)
+
+// Snapshot encoding: the full relational state of one generation in a
+// compact binary form. The file is
+//
+//	magic "kwsnap01" (8 bytes)
+//	payload
+//	u32 CRC32-IEEE of payload (little-endian)
+//
+// and the payload is
+//
+//	uvarint generation
+//	string  database name
+//	uvarint table count
+//	tables: schema, uvarint tuple count, tuples
+//	schema: string name, uvarint column count,
+//	        columns (string name, u8 type, u8 nullable),
+//	        uvarint pk count, pk column names,
+//	        uvarint fk count, fks (string name, uvarint n, columns,
+//	        string ref relation, uvarint n, ref columns)
+//	tuple:  one value per column in declaration order — u8 0 for NULL,
+//	        u8 1 then the value encoded by its column type (strings as
+//	        uvarint length + bytes, int as zigzag uvarint, float as 8-byte
+//	        LE bits, bool as one byte)
+//
+// Tables appear in catalog creation order and tuples in insertion order, so
+// a decoded database rebuilds byte-identical engine substrates: graph, index
+// and search output are pinned to those orders by the rebuild-equivalence
+// tests. Only the relational state is stored — graph and postings are
+// reconstructed through the normal build path, which keeps the format small
+// and its correctness pinned by existing tests.
+
+const snapMagic = "kwsnap01"
+
+// encodeSnapshot serializes the database as the state of generation gen.
+func encodeSnapshot(gen uint64, db *relation.Database) []byte {
+	payload := binary.AppendUvarint(nil, gen)
+	payload = appendString(payload, db.Name)
+	tables := db.Tables()
+	payload = binary.AppendUvarint(payload, uint64(len(tables)))
+	for _, t := range tables {
+		payload = appendSchema(payload, t.Schema())
+		payload = binary.AppendUvarint(payload, uint64(t.Len()))
+		for _, tup := range t.Tuples() {
+			payload = appendTuple(payload, t.Schema(), tup)
+		}
+	}
+	out := make([]byte, 0, len(snapMagic)+len(payload)+4)
+	out = append(out, snapMagic...)
+	out = append(out, payload...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+}
+
+func appendSchema(dst []byte, s *relation.Schema) []byte {
+	dst = appendString(dst, s.Name)
+	dst = binary.AppendUvarint(dst, uint64(len(s.Columns)))
+	for _, c := range s.Columns {
+		dst = appendString(dst, c.Name)
+		dst = append(dst, byte(c.Type))
+		if c.Nullable {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	dst = appendStrings(dst, s.PrimaryKey)
+	dst = binary.AppendUvarint(dst, uint64(len(s.ForeignKeys)))
+	for _, fk := range s.ForeignKeys {
+		dst = appendString(dst, fk.Name)
+		dst = appendStrings(dst, fk.Columns)
+		dst = appendString(dst, fk.RefRelation)
+		dst = appendStrings(dst, fk.RefColumns)
+	}
+	return dst
+}
+
+func appendStrings(dst []byte, ss []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = appendString(dst, s)
+	}
+	return dst
+}
+
+// appendTuple encodes the tuple's values in column declaration order. Table
+// insertion coerced every value to its column type, so the type tag is the
+// column's and only a null bit is stored per value.
+func appendTuple(dst []byte, s *relation.Schema, tup *relation.Tuple) []byte {
+	for _, c := range s.Columns {
+		v := tup.Value(c.Name)
+		if v.IsNull() {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, 1)
+		switch c.Type {
+		case relation.TypeString, relation.TypeText:
+			dst = appendString(dst, v.AsString())
+		case relation.TypeInt:
+			i, _ := v.AsInt()
+			dst = binary.AppendUvarint(dst, zigzag(i))
+		case relation.TypeFloat:
+			f, _ := v.AsFloat()
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+		case relation.TypeBool:
+			b, _ := v.AsBool()
+			if b {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+	}
+	return dst
+}
+
+// decodeSnapshot rebuilds the database and generation from snapshot bytes,
+// verifying magic and checksum. The rebuilt catalog revalidates through the
+// normal NewSchema/CreateTable/InsertRow paths, so a decoded snapshot is
+// held to the same invariants as a freshly loaded database.
+func decodeSnapshot(data []byte) (*relation.Database, uint64, error) {
+	payload, err := snapshotPayload(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	r := reader{buf: payload}
+	gen := r.uvarint()
+	name := r.string()
+	ntables := r.uvarint()
+	if r.err == nil && ntables > uint64(len(payload)) {
+		r.fail("table count %d exceeds payload", ntables)
+	}
+	db := relation.NewDatabase(name)
+	for i := uint64(0); i < ntables && r.err == nil; i++ {
+		schema := readSchema(&r)
+		if r.err != nil {
+			break
+		}
+		t, err := db.CreateTable(schema)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: snapshot table %d: %v", ErrCorrupt, i, err)
+		}
+		ntuples := r.uvarint()
+		if r.err == nil && ntuples > uint64(len(payload)) {
+			r.fail("tuple count %d exceeds payload", ntuples)
+		}
+		for j := uint64(0); j < ntuples && r.err == nil; j++ {
+			values := readTuple(&r, schema)
+			if r.err != nil {
+				break
+			}
+			if _, err := t.InsertRow(values...); err != nil {
+				return nil, 0, fmt.Errorf("%w: snapshot tuple %s[%d]: %v", ErrCorrupt, schema.Name, j, err)
+			}
+		}
+	}
+	if r.err == nil && len(r.buf) != r.off {
+		r.fail("%d trailing bytes", len(r.buf)-r.off)
+	}
+	if r.err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+	}
+	return db, gen, nil
+}
+
+// peekSnapshotGen verifies the snapshot envelope and returns its generation
+// without rebuilding the database; Open uses it to learn the durable
+// generation cheaply.
+func peekSnapshotGen(data []byte) (uint64, error) {
+	payload, err := snapshotPayload(data)
+	if err != nil {
+		return 0, err
+	}
+	r := reader{buf: payload}
+	gen := r.uvarint()
+	if r.err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, r.err)
+	}
+	return gen, nil
+}
+
+// snapshotPayload strips and verifies the magic and checksum envelope.
+func snapshotPayload(data []byte) ([]byte, error) {
+	if len(data) < len(snapMagic)+4 {
+		return nil, fmt.Errorf("%w: snapshot too short (%d bytes)", ErrCorrupt, len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	payload := data[len(snapMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, want)
+	}
+	return payload, nil
+}
+
+func readSchema(r *reader) *relation.Schema {
+	name := r.string()
+	ncols := r.uvarint()
+	if r.err == nil && ncols > uint64(len(r.buf)) {
+		r.fail("column count %d exceeds payload", ncols)
+		return nil
+	}
+	cols := make([]relation.Column, 0, ncols)
+	for i := uint64(0); i < ncols && r.err == nil; i++ {
+		c := relation.Column{Name: r.string(), Type: relation.Type(r.byte())}
+		c.Nullable = r.byte() == 1
+		cols = append(cols, c)
+	}
+	pk := readStrings(r)
+	nfks := r.uvarint()
+	if r.err == nil && nfks > uint64(len(r.buf)) {
+		r.fail("foreign key count %d exceeds payload", nfks)
+		return nil
+	}
+	fks := make([]relation.ForeignKey, 0, nfks)
+	for i := uint64(0); i < nfks && r.err == nil; i++ {
+		fks = append(fks, relation.ForeignKey{
+			Name:        r.string(),
+			Columns:     readStrings(r),
+			RefRelation: r.string(),
+			RefColumns:  readStrings(r),
+		})
+	}
+	if r.err != nil {
+		return nil
+	}
+	schema, err := relation.NewSchema(name, cols, pk, fks...)
+	if err != nil {
+		r.fail("invalid schema %s: %v", name, err)
+		return nil
+	}
+	return schema
+}
+
+func readStrings(r *reader) []string {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(r.buf)) {
+		r.fail("string count %d exceeds payload", n)
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		out = append(out, r.string())
+	}
+	return out
+}
+
+func readTuple(r *reader, s *relation.Schema) []relation.Value {
+	values := make([]relation.Value, len(s.Columns))
+	for i, c := range s.Columns {
+		switch present := r.byte(); present {
+		case 0:
+			values[i] = relation.Null()
+		case 1:
+			switch c.Type {
+			case relation.TypeString:
+				values[i] = relation.String(r.string())
+			case relation.TypeText:
+				values[i] = relation.Text(r.string())
+			case relation.TypeInt:
+				values[i] = relation.Int(unzigzag(r.uvarint()))
+			case relation.TypeFloat:
+				if len(r.buf)-r.off < 8 {
+					r.fail("truncated float64")
+					return nil
+				}
+				values[i] = relation.Float(math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:])))
+				r.off += 8
+			case relation.TypeBool:
+				values[i] = relation.Bool(r.byte() == 1)
+			default:
+				r.fail("column %s has undecodable type %d", c.Name, int(c.Type))
+				return nil
+			}
+		default:
+			if r.err == nil {
+				r.fail("bad null bit %d", present)
+			}
+			return nil
+		}
+	}
+	return values
+}

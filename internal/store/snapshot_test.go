@@ -1,0 +1,168 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := testDatabase(t)
+	data := encodeSnapshot(42, db)
+	decoded, gen, err := decodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if gen != 42 {
+		t.Fatalf("gen = %d, want 42", gen)
+	}
+	// Re-encoding the decoded database must be byte-identical: tables keep
+	// creation order, tuples keep insertion order, values keep their types.
+	again := encodeSnapshot(42, decoded)
+	if string(again) != string(data) {
+		t.Fatal("re-encoded snapshot differs from original")
+	}
+	if err := decoded.Validate(); err != nil {
+		t.Fatalf("decoded database fails validation: %v", err)
+	}
+	if g, err := peekSnapshotGen(data); err != nil || g != 42 {
+		t.Fatalf("peekSnapshotGen = %d, %v", g, err)
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	data := encodeSnapshot(1, testDatabase(t))
+	cases := map[string][]byte{
+		"short":        data[:4],
+		"bad magic":    append([]byte("notmagic"), data[8:]...),
+		"flipped byte": flip(data, len(data)/2),
+		"bad checksum": flip(data, len(data)-1),
+		"truncated":    data[:len(data)-8],
+	}
+	for name, buf := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := decodeSnapshot(buf); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func flip(data []byte, i int) []byte {
+	out := append([]byte(nil), data...)
+	out[i] ^= 0xff
+	return out
+}
+
+func TestFileStoreSnapshotTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	appendN(t, s, 1, 5)
+	db := testDatabase(t)
+	if err := s.Snapshot(5, db); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	st := s.Stats()
+	if st.WALRecords != 0 || st.WALBytes != 0 {
+		t.Fatalf("WAL not truncated: %+v", st)
+	}
+	if st.SnapshotGen != 5 || st.SnapshotBytes <= 0 {
+		t.Fatalf("snapshot stats wrong: %+v", st)
+	}
+	// The log keeps working after truncation, across a reopen.
+	appendN(t, s, 6, 7)
+	s.Close()
+
+	r := mustOpen(t, dir)
+	loaded, gen, err := r.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if gen != 5 {
+		t.Fatalf("loaded gen = %d, want 5", gen)
+	}
+	if string(encodeSnapshot(5, loaded)) != string(encodeSnapshot(5, db)) {
+		t.Fatal("loaded database differs from snapshotted one")
+	}
+	if gens, _ := collectReplay(t, r, gen); len(gens) != 2 || gens[0] != 6 || gens[1] != 7 {
+		t.Fatalf("replay after snapshot = %v, want [6 7]", gens)
+	}
+}
+
+func TestFileStoreSnapshotBehindTailRetainsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	appendN(t, s, 1, 6)
+	// Snapshot an older generation: records 4..6 must survive truncation.
+	if err := s.Snapshot(3, testDatabase(t)); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if st := s.Stats(); st.WALRecords != 3 {
+		t.Fatalf("retained %d records, want 3", st.WALRecords)
+	}
+	if gens, _ := collectReplay(t, s, 3); len(gens) != 3 || gens[0] != 4 {
+		t.Fatalf("replay = %v, want [4 5 6]", gens)
+	}
+	appendN(t, s, 7, 7)
+	s.Close()
+	r := mustOpen(t, dir)
+	if gens, _ := collectReplay(t, r, 3); len(gens) != 4 || gens[3] != 7 {
+		t.Fatalf("replay after reopen = %v, want [4 5 6 7]", gens)
+	}
+}
+
+func TestLoadWithoutSnapshot(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	db, gen, err := s.Load()
+	if db != nil || gen != 0 || err != nil {
+		t.Fatalf("Load on empty store = %v, %d, %v", db, gen, err)
+	}
+}
+
+func TestOpenRejectsCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.Snapshot(1, testDatabase(t)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	path := filepath.Join(dir, snapName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, flip(data, len(data)/2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStaleWALRecordsAfterSnapshotCrash models a crash between the snapshot
+// rename and the WAL truncation: the log still holds records at or below the
+// snapshot generation, and Replay(after=snapGen) must skip them.
+func TestStaleWALRecordsAfterSnapshotCrash(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	appendN(t, s, 1, 4)
+	// Write the snapshot file directly, bypassing Snapshot's truncation —
+	// exactly the durable state after rename but before truncate.
+	if err := writeFileSync(filepath.Join(dir, snapName), encodeSnapshot(3, testDatabase(t))); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	r := mustOpen(t, dir)
+	_, gen, err := r.Load()
+	if err != nil || gen != 3 {
+		t.Fatalf("Load = gen %d, %v; want 3", gen, err)
+	}
+	if gens, _ := collectReplay(t, r, gen); len(gens) != 1 || gens[0] != 4 {
+		t.Fatalf("replay = %v, want [4]", gens)
+	}
+	// lastGen is the WAL tail (4), not the snapshot gen: appends continue
+	// from 5.
+	appendN(t, r, 5, 5)
+}

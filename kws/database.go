@@ -172,6 +172,11 @@ type Database struct {
 // freeze marks the database as owned by an engine; see ErrFrozenDatabase.
 func (d *Database) freeze() { d.frozen.Store(true) }
 
+// unfreeze releases a freeze taken by a New that subsequently failed (WAL
+// replay is the only fallible step after freezing), preserving the invariant
+// that a failed New never leaves a frozen database.
+func (d *Database) unfreeze() { d.frozen.Store(false) }
+
 // Frozen reports whether the database has been handed to kws.New and is now
 // read-only through this facade.
 func (d *Database) Frozen() bool { return d.frozen.Load() }

@@ -6,6 +6,7 @@ import (
 	"iter"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagraph"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/ranking"
 	"repro/internal/relation"
+	"repro/internal/store"
 	"repro/internal/symtab"
 )
 
@@ -41,6 +43,14 @@ type Config struct {
 	// engines and per batch by SearchBatch (0 or negative means GOMAXPROCS,
 	// 1 is fully sequential). Results are deterministic for any value.
 	Parallelism int
+
+	// Engine-level durability wiring, set through WithStore and
+	// WithSnapshotEvery (see persist.go). Unexported: persistence is not a
+	// per-query option and cannot be overridden through Query or
+	// WithDefaults.
+	store            store.Store
+	snapshotEvery    int
+	snapshotEverySet bool
 }
 
 // Result is one ranked answer.
@@ -96,6 +106,15 @@ type Engine struct {
 	snap atomic.Pointer[snapshot]
 	// applyMu serializes writers (Apply publishes generations one at a time).
 	applyMu sync.Mutex
+
+	// Durability (nil store means memory-only; see persist.go). replayed and
+	// replayDur are written once by New before the engine escapes; snapErrs
+	// is updated by writers and read by PersistStats concurrently.
+	store         store.Store
+	snapshotEvery int
+	replayed      int64
+	replayDur     time.Duration
+	snapErrs      atomic.Int64
 }
 
 // snapshot is one immutable generation of the engine's substrates plus its
@@ -167,6 +186,12 @@ func WithParallelism(n int) Option {
 // defaults against the registries (before any expensive construction),
 // checks the database, derives the conceptual schema, and builds the tuple
 // graph and the keyword index.
+//
+// With WithStore, New first recovers the newest durable state: the store's
+// snapshot (when one exists) replaces the caller's database as the base
+// generation, and the write-ahead log after it replays through the normal
+// mutation path before New returns. The caller's database then only seeds
+// the very first boot; see persist.go.
 func New(db *Database, opts ...Option) (*Engine, error) {
 	if db == nil {
 		return nil, fmt.Errorf("kws: nil database")
@@ -184,6 +209,9 @@ func New(db *Database, opts ...Option) (*Engine, error) {
 	if cfg.MaxJoins <= 0 {
 		cfg.MaxJoins = 5
 	}
+	if cfg.store != nil && !cfg.snapshotEverySet {
+		cfg.snapshotEvery = defaultSnapshotEvery
+	}
 	// Validate the configured names first: an unknown engine or ranking
 	// must fail before the graph, the index and the analyzer are built.
 	if _, err := engineFactory(cfg.Engine); err != nil {
@@ -193,6 +221,16 @@ func New(db *Database, opts ...Option) (*Engine, error) {
 		return nil, err
 	}
 	inner := db.internalDB()
+	baseGen := uint64(0)
+	if cfg.store != nil {
+		loaded, gen, err := cfg.store.Load()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPersistence, err)
+		}
+		if loaded != nil {
+			inner, baseGen = loaded, gen
+		}
+	}
 	if err := inner.Validate(); err != nil {
 		return nil, err
 	}
@@ -207,7 +245,8 @@ func New(db *Database, opts ...Option) (*Engine, error) {
 	// Freeze the facade before reading the data: from here on the engine
 	// owns the database, and direct writes through the Database facade would
 	// bypass the snapshot discipline (see Database.Insert and Engine.Apply).
-	// Nothing below can fail, so a failed New never leaves a frozen database.
+	// Only WAL replay below can fail, and it unfreezes on its way out, so a
+	// failed New never leaves a frozen database.
 	db.freeze()
 	// The tuple graph and the inverted index are independent substrates over
 	// one shared tuple-ID space; intern the tuples once, then build both
@@ -235,8 +274,9 @@ func New(db *Database, opts ...Option) (*Engine, error) {
 		}()
 		wg.Wait()
 	}
-	e := &Engine{defaults: cfg, labeler: labeler}
+	e := &Engine{defaults: cfg, labeler: labeler, store: cfg.store, snapshotEvery: cfg.snapshotEvery}
 	e.snap.Store(&snapshot{
+		gen: baseGen,
 		comp: Components{
 			DB:       inner,
 			Graph:    graph,
@@ -245,6 +285,12 @@ func New(db *Database, opts ...Option) (*Engine, error) {
 		},
 		searchers: make(map[EngineKind]Searcher),
 	})
+	if e.store != nil {
+		if err := e.replayWAL(baseGen); err != nil {
+			db.unfreeze()
+			return nil, err
+		}
+	}
 	return e, nil
 }
 

@@ -95,6 +95,12 @@ type Mutation struct {
 // returns the error and publishes nothing: the engine keeps answering from
 // the generation it was on. An empty mutation is a no-op returning the
 // current generation.
+//
+// On an engine built WithStore the batch is appended to the write-ahead log
+// and fsynced before the new generation is published or returned, so every
+// acknowledged generation survives a crash; a failed append (ErrPersistence)
+// publishes nothing. Automatic snapshot failures after publication never
+// fail Apply — see PersistStats.SnapshotErrors.
 func (e *Engine) Apply(ctx context.Context, m Mutation) (uint64, error) {
 	e.applyMu.Lock()
 	defer e.applyMu.Unlock()
@@ -102,13 +108,39 @@ func (e *Engine) Apply(ctx context.Context, m Mutation) (uint64, error) {
 	if len(m.Ops) == 0 {
 		return snap.gen, nil
 	}
+	next, err := e.stage(ctx, snap, m)
+	if err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled after staging but before the log append: nothing is
+		// durable and the published snapshot stays untouched. No further
+		// cancellation checks happen below — once the append lands, the
+		// generation must be published, or the next Apply would try to
+		// append a duplicate generation.
+		return 0, err
+	}
+	if e.store != nil {
+		if err := e.store.Append(next.gen, toStoreMutation(m)); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrPersistence, err)
+		}
+	}
+	e.snap.Store(next)
+	e.maybeSnapshot(next)
+	return next.gen, nil
+}
+
+// stage runs the mutation batch against snap's data and builds — but does
+// not publish — the next generation. Apply publishes the result after the
+// durability append; WAL replay publishes it directly. Callers hold applyMu.
+func (e *Engine) stage(ctx context.Context, snap *snapshot, m Mutation) (*snapshot, error) {
 	st := newStager(snap.comp.DB)
 	for i, op := range m.Ops {
 		if err := ctx.Err(); err != nil {
-			return 0, err
+			return nil, err
 		}
 		if err := st.apply(op); err != nil {
-			return 0, fmt.Errorf("kws: apply: op %d (%s %s): %w", i, op.Kind, op.Table, err)
+			return nil, fmt.Errorf("kws: apply: op %d (%s %s): %w", i, op.Kind, op.Table, err)
 		}
 	}
 	removed, added := st.net()
@@ -118,14 +150,9 @@ func (e *Engine) Apply(ctx context.Context, m Mutation) (uint64, error) {
 	// mapping carry over; only the analyzer's database binding is refreshed.
 	analyzer, err := core.NewAnalyzer(st.db, snap.comp.Analyzer.Schema(), snap.comp.Analyzer.Mapping())
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		// Cancelled after staging but before publication: the published
-		// snapshot stays untouched.
-		return 0, err
-	}
-	next := &snapshot{
+	return &snapshot{
 		gen: snap.gen + 1,
 		comp: Components{
 			DB:       st.db,
@@ -134,9 +161,7 @@ func (e *Engine) Apply(ctx context.Context, m Mutation) (uint64, error) {
 			Analyzer: analyzer,
 		},
 		searchers: make(map[EngineKind]Searcher),
-	}
-	e.snap.Store(next)
-	return next.gen, nil
+	}, nil
 }
 
 // stager accumulates a mutation batch over a copy-on-write clone of the
