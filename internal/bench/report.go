@@ -47,6 +47,9 @@ type ConfigEcho struct {
 	DurationSeconds float64  `json:"duration_seconds"`
 	BatchSize       int      `json:"batch_size"`
 	MutateEvery     int      `json:"mutate_every"`
+	// Shards lists the swept engine shard counts (kws-bench -shards);
+	// omitted when only the plain unsharded engine ran.
+	Shards []int `json:"shards,omitempty"`
 }
 
 // Report is the machine-readable outcome of one kws-bench invocation — the
@@ -68,7 +71,10 @@ func NewReport(cfg ConfigEcho, results []SuiteResult) Report {
 		if sorted[i].Suite != sorted[j].Suite {
 			return sorted[i].Suite < sorted[j].Suite
 		}
-		return sorted[i].Mode < sorted[j].Mode
+		if sorted[i].Mode != sorted[j].Mode {
+			return sorted[i].Mode < sorted[j].Mode
+		}
+		return sorted[i].Shards < sorted[j].Shards
 	})
 	return Report{
 		Schema: ReportSchema,
@@ -107,7 +113,7 @@ func (r Report) Validate() error {
 		if s.Suite == "" || s.Mode == "" {
 			return fmt.Errorf("bench: suite row %d lacks suite or mode", i)
 		}
-		key := s.Suite + "/" + s.Mode + "/" + s.Target
+		key := fmt.Sprintf("%s/%s/%s/%d", s.Suite, s.Mode, s.Target, s.Shards)
 		if seen[key] {
 			return fmt.Errorf("bench: duplicate suite row %s", key)
 		}

@@ -28,6 +28,9 @@ type SuiteResult struct {
 	Suite  string `json:"suite"`
 	Mode   string `json:"mode"`
 	Target string `json:"target"`
+	// Shards is the engine's shard count for in-process sharded rows;
+	// 0 or 1 both mean the plain unsharded engine.
+	Shards int `json:"shards,omitempty"`
 	// Ops counts measured operations; a batch operation carries
 	// QueriesPerOp queries.
 	Ops          int64 `json:"ops"`

@@ -1,0 +1,162 @@
+// Package shard partitions the engine's authoritative state into N shard
+// engines so that writes to disjoint shards commit concurrently and the
+// keyword-match phase of a query scatters across N independent indexes —
+// while the merged search output stays byte-identical to the unsharded
+// engine at any shard count.
+//
+// # Partitioning
+//
+// A deterministic Partitioner assigns every tuple to one shard by hashing
+// its TupleID (FNV-1a over relation and key). The assignment depends only on
+// the identity and the shard count, so it is stable across Apply, recovery
+// and independently built engines — the property the FuzzShardPartition
+// target and the determinism suite pin.
+//
+// Each shard owns a full partition of the engine state: a relational
+// database holding exactly its tuples (every table exists in every shard; a
+// foreign key whose target lives in another shard dangles and drops out of
+// the shard's graph, exactly as a dangling reference does in an unsharded
+// build), a tuple graph and an inverted index over that partition, and — for
+// durable engines — its own write-ahead-log/snapshot directory.
+//
+// # Reads
+//
+// The merged answer stream of a keyword search must be byte-identical to the
+// unsharded engine's, and connections (join paths) cross shard boundaries
+// arbitrarily, so connection enumeration runs on the composed generation the
+// kws engine already maintains. What scatters is the phase that is
+// per-tuple and therefore partitions exactly: keyword matching. A query fans
+// out to every shard's index on its own goroutine, each shard answers with
+// its matching tuples, and the gathered union — shards are disjoint, so the
+// union is exact — feeds the enumeration pipeline, whose rank-preserving
+// parallel.Ordered merge then emits answers in the deterministic order the
+// determinism suite byte-compares.
+//
+// # Writes
+//
+// Apply stages a batch once against the composed generation, splits the net
+// tuple delta by owner shard, and prepares each touched shard on its own
+// goroutine: clone-and-apply the partition database, incrementally maintain
+// the shard graph and index, and append the shard's delta to its WAL at the
+// shard's next generation. Per-shard leases (acquired in ascending shard
+// order, so overlapping batches never deadlock) make batches touching
+// disjoint shards fully concurrent. The commit point is a record in the
+// group's vector log naming the global generation and the per-shard
+// generation vector; a batch that fails before that record rolls its shard
+// appends back with TruncateAfter, and recovery truncates every shard log to
+// the newest committed vector — so the recovered group is always a
+// consistent cut covering exactly the acknowledged batches.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Partitioner deterministically assigns tuples to shards. The zero value is
+// unusable; construct with NewPartitioner.
+type Partitioner struct {
+	n int
+}
+
+// NewPartitioner returns a partitioner over n shards; n < 1 is clamped to 1.
+func NewPartitioner(n int) Partitioner {
+	if n < 1 {
+		n = 1
+	}
+	return Partitioner{n: n}
+}
+
+// Shards returns the shard count.
+func (p Partitioner) Shards() int { return p.n }
+
+// Owner returns the shard owning the tuple: FNV-1a over the relation name, a
+// zero separator byte and the encoded key, modulo the shard count. The
+// function is total and depends only on its inputs — the identical tuple maps
+// to the identical shard in every engine, generation and recovery.
+func (p Partitioner) Owner(id relation.TupleID) int {
+	if p.n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id.Relation))
+	h.Write([]byte{0})
+	h.Write([]byte(id.Key))
+	return int(h.Sum64() % uint64(p.n))
+}
+
+// SplitDatabase partitions db: the result has one database per shard, each
+// with every table of db's catalog and exactly the tuples the partitioner
+// assigns to it, inserted in db's own table and tuple order (so two splits
+// of equal databases are equal). The input is not modified.
+func SplitDatabase(db *relation.Database, p Partitioner) ([]*relation.Database, error) {
+	parts := make([]*relation.Database, p.Shards())
+	for i := range parts {
+		parts[i] = relation.NewDatabase(fmt.Sprintf("%s-shard-%d", dbName(db), i))
+		for _, schema := range db.Schemas() {
+			if _, err := parts[i].CreateTable(schema); err != nil {
+				return nil, fmt.Errorf("shard: split: %w", err)
+			}
+		}
+	}
+	for _, t := range db.Tables() {
+		for _, tup := range t.Tuples() {
+			part := parts[p.Owner(tup.ID())]
+			pt, _ := part.Table(t.Name())
+			if _, err := pt.InsertRow(tup.Values()...); err != nil {
+				return nil, fmt.Errorf("shard: split %s: %w", tup.ID(), err)
+			}
+		}
+	}
+	return parts, nil
+}
+
+// ComposeDatabase is the inverse of SplitDatabase: it merges the shard
+// partitions back into one database holding every tuple. Tuples are inserted
+// per table in ascending key order — a canonical order independent of which
+// shard holds which tuple and of each shard's internal history — so any two
+// compositions of state-equal groups are equal, and (because every rendered
+// view of graph, index and search output is defined by string-space
+// comparators, not insertion order) the composition is search-equivalent to
+// the database whose mutation history produced the partitions.
+func ComposeDatabase(name string, parts []*relation.Database) (*relation.Database, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("shard: compose: no partitions")
+	}
+	db := relation.NewDatabase(name)
+	for _, schema := range parts[0].Schemas() {
+		if _, err := db.CreateTable(schema); err != nil {
+			return nil, fmt.Errorf("shard: compose: %w", err)
+		}
+	}
+	for _, name := range parts[0].TableNames() {
+		var tuples []*relation.Tuple
+		for _, part := range parts {
+			pt, ok := part.Table(name)
+			if !ok {
+				return nil, fmt.Errorf("shard: compose: partition missing table %s", name)
+			}
+			tuples = append(tuples, pt.Tuples()...)
+		}
+		sort.Slice(tuples, func(i, j int) bool { return tuples[i].ID().Less(tuples[j].ID()) })
+		t, _ := db.Table(name)
+		for _, tup := range tuples {
+			if _, err := t.InsertRow(tup.Values()...); err != nil {
+				return nil, fmt.Errorf("shard: compose %s: %w", tup.ID(), err)
+			}
+		}
+	}
+	return db, nil
+}
+
+// dbName names split partitions after their source, tolerating an unnamed
+// database.
+func dbName(db *relation.Database) string {
+	if db.Name != "" {
+		return db.Name
+	}
+	return "db"
+}

@@ -1,0 +1,95 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/store"
+)
+
+// Stores is the durable side of a shard group: one write-ahead-log/snapshot
+// directory per shard (shard-0, shard-1, ...) plus the group's vector log
+// (meta/vector.log), all rooted under one directory. The shard count is part
+// of the layout — reopening a directory with a different count fails, since
+// the partitioner's assignment (and therefore every shard's content) depends
+// on it.
+type Stores struct {
+	dir    string
+	shards []store.Store
+	vector *store.VectorLog
+}
+
+// OpenStores opens (creating if needed) the durable directories for n shards
+// under dir. A directory previously opened with a different shard count is
+// rejected.
+func OpenStores(dir string, n int) (*Stores, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: store needs at least 1 shard, got %d", n)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	existing := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			var i int
+			if _, err := fmt.Sscanf(e.Name(), "shard-%d", &i); err == nil {
+				existing++
+			}
+		}
+	}
+	if existing != 0 && existing != n {
+		return nil, fmt.Errorf("shard: directory %s holds %d shards, not %d", dir, existing, n)
+	}
+	s := &Stores{dir: dir, shards: make([]store.Store, n)}
+	for i := range s.shards {
+		fs, err := store.Open(filepath.Join(dir, fmt.Sprintf("shard-%d", i)))
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.shards[i] = fs
+	}
+	v, err := store.OpenVectorLog(filepath.Join(dir, "meta", "vector.log"))
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.vector = v
+	return s, nil
+}
+
+// Shards returns the shard count of the layout.
+func (s *Stores) Shards() int { return len(s.shards) }
+
+// Shard returns shard i's store.
+func (s *Stores) Shard(i int) store.Store { return s.shards[i] }
+
+// ReplaceShard swaps shard i's store for a wrapper — a test hook for fault
+// injection (the crash matrix wraps individual shards in a FaultStore).
+func (s *Stores) ReplaceShard(i int, st store.Store) { s.shards[i] = st }
+
+// Vector returns the group's vector log.
+func (s *Stores) Vector() *store.VectorLog { return s.vector }
+
+// Close releases every shard store and the vector log, reporting the first
+// error.
+func (s *Stores) Close() error {
+	var first error
+	for _, st := range s.shards {
+		if st == nil {
+			continue
+		}
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.vector != nil {
+		if err := s.vector.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

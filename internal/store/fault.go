@@ -41,6 +41,13 @@ const (
 // TornBytes for CrashTornAppend) before the operation that should fail;
 // reset Point to CrashNone to resume normal operation. Not safe for
 // configuration concurrent with use — it is a test harness.
+//
+// With Sticky set, the first fired crash point kills the store: every later
+// write operation fails with ErrInjected, so no cleanup the caller attempts
+// (the sharded engine rolls back sibling-shard appends of an aborted batch)
+// can change the directory. The disk is then frozen in exactly the state a
+// process crash at the injection point would leave, which is what the
+// crash-recovery tests re-Open.
 type FaultStore struct {
 	*FileStore
 	Point CrashPoint
@@ -48,6 +55,11 @@ type FaultStore struct {
 	// beyond the frame length write the whole frame (the crash then tore
 	// nothing, only the acknowledgment).
 	TornBytes int
+	// Sticky makes the first fired crash point fatal: all later Append,
+	// Snapshot and TruncateAfter calls fail with ErrInjected.
+	Sticky bool
+
+	dead bool
 }
 
 // NewFaultStore wraps an open FileStore with injection disabled.
@@ -55,10 +67,24 @@ func NewFaultStore(fs *FileStore) *FaultStore {
 	return &FaultStore{FileStore: fs}
 }
 
+// Dead reports whether a sticky crash point has fired.
+func (f *FaultStore) Dead() bool { return f.dead }
+
+// kill records a fired sticky crash point.
+func (f *FaultStore) kill() error {
+	if f.Sticky {
+		f.dead = true
+	}
+	return ErrInjected
+}
+
 func (f *FaultStore) Append(gen uint64, m Mutation) error {
+	if f.dead {
+		return ErrInjected
+	}
 	switch f.Point {
 	case CrashPreAppend:
-		return ErrInjected
+		return f.kill()
 	case CrashTornAppend:
 		frame := appendFrame(nil, gen, m)
 		n := f.TornBytes
@@ -73,18 +99,21 @@ func (f *FaultStore) Append(gen uint64, m Mutation) error {
 		if _, err := s.wal.Write(frame[:n]); err != nil {
 			return err
 		}
-		return ErrInjected
+		return f.kill()
 	case CrashPostAppend:
 		if err := f.FileStore.Append(gen, m); err != nil {
 			return err
 		}
-		return ErrInjected
+		return f.kill()
 	default:
 		return f.FileStore.Append(gen, m)
 	}
 }
 
 func (f *FaultStore) Snapshot(gen uint64, db *relation.Database) error {
+	if f.dead {
+		return ErrInjected
+	}
 	if f.Point == CrashMidSnapshot {
 		s := f.FileStore
 		s.mu.Lock()
@@ -92,7 +121,16 @@ func (f *FaultStore) Snapshot(gen uint64, db *relation.Database) error {
 		if err := writeFileSync(s.path(snapTmpName), encodeSnapshot(gen, db)); err != nil {
 			return err
 		}
-		return ErrInjected
+		return f.kill()
 	}
 	return f.FileStore.Snapshot(gen, db)
+}
+
+// TruncateAfter fails on a dead store — the crash already happened, so the
+// rollback a live process would perform must not reach the directory.
+func (f *FaultStore) TruncateAfter(gen uint64) error {
+	if f.dead {
+		return ErrInjected
+	}
+	return f.FileStore.TruncateAfter(gen)
 }

@@ -312,6 +312,68 @@ func (s *FileStore) truncateWAL(upTo uint64) error {
 	return nil
 }
 
+// TruncateAfter durably drops the WAL records with generation greater than
+// gen, leaving the log ending at gen (or empty, when nothing at or below gen
+// is logged). It exists for the sharded commit protocol: a batch that fails
+// on one shard after appending to others rolls those appends back, and
+// recovery discards per-shard records beyond the committed generation
+// vector — in both cases the dropped records were never acknowledged.
+// Truncating below the snapshot generation is refused: the snapshot already
+// covers those generations, so the request can only be a protocol bug.
+func (s *FileStore) TruncateAfter(gen uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.lastGen <= gen {
+		return nil
+	}
+	if s.snapGen > gen {
+		return fmt.Errorf("store: truncate after generation %d below snapshot %d", gen, s.snapGen)
+	}
+	data, err := os.ReadFile(s.path(walName))
+	if err != nil {
+		return fmt.Errorf("store: truncate after: %w", err)
+	}
+	if int64(len(data)) > s.walBytes {
+		data = data[:s.walBytes]
+	}
+	// Re-encode the retained prefix to find its byte length: the encoding is
+	// canonical, so the re-encoded frames are identical to the bytes on disk
+	// and an in-place truncate at that offset keeps exactly records <= gen.
+	var (
+		retained []byte
+		records  int64
+		lastKept uint64
+	)
+	if _, _, _, err := scanWAL(data, func(g uint64, m Mutation) error {
+		if g <= gen {
+			retained = appendFrame(retained, g, m)
+			records++
+			lastKept = g
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("store: truncate after: %w", err)
+	}
+	if err := s.wal.Truncate(int64(len(retained))); err != nil {
+		return fmt.Errorf("store: truncate after: %w", err)
+	}
+	if _, err := s.wal.Seek(int64(len(retained)), 0); err != nil {
+		return fmt.Errorf("store: truncate after: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: truncate after: %w", err)
+	}
+	s.walBytes, s.walRecords = int64(len(retained)), records
+	s.lastGen = s.snapGen
+	if records > 0 && lastKept > s.lastGen {
+		s.lastGen = lastKept
+	}
+	return nil
+}
+
 // Load decodes the latest durable snapshot, or returns (nil, 0, nil) when
 // none has been written yet.
 func (s *FileStore) Load() (*relation.Database, uint64, error) {

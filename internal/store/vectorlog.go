@@ -1,0 +1,254 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// VectorLog is the sharded engine's commit log: an append-only file of
+// (global generation, per-shard generation vector) records, one per committed
+// cross-shard batch. The vector append is THE commit point of the sharded
+// protocol — per-shard WAL appends land first, and a batch whose vector never
+// reaches this log was never acknowledged, so recovery truncates the shard
+// logs back to the newest vector found here.
+//
+// Records use the WAL framing ([u32 length][u32 CRC][payload]); the payload
+// is uvarint global generation, uvarint shard count, then one uvarint per
+// shard. Recovery truncates a torn tail exactly like the WAL does and treats
+// mid-log corruption as ErrCorrupt. Compact rewrites the file down to its
+// newest record (atomic temp-file rename), bounding growth at snapshot time.
+type VectorLog struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+
+	bytes   int64
+	records int64
+	lastGen uint64
+	lastVec []uint64
+	closed  bool
+}
+
+// vectorTmpSuffix names the transient compaction file next to the log.
+const vectorTmpSuffix = ".tmp"
+
+// OpenVectorLog opens (or creates) the vector log at path, truncating a torn
+// final record and failing with ErrCorrupt on mid-log corruption.
+func OpenVectorLog(path string) (*VectorLog, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := os.Remove(path + vectorTmpSuffix); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: remove stale %s: %w", filepath.Base(path)+vectorTmpSuffix, err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	v := &VectorLog{path: path, f: f}
+	if err := v.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return v, nil
+}
+
+// recover scans the log, truncates a torn tail and primes the counters.
+func (v *VectorLog) recover() error {
+	data, err := os.ReadFile(v.path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	validEnd, records, lastGen, lastVec, err := scanVectors(data)
+	if err != nil {
+		return fmt.Errorf("store: %s: %w", filepath.Base(v.path), err)
+	}
+	if validEnd < int64(len(data)) {
+		if err := v.f.Truncate(validEnd); err != nil {
+			return fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+		if err := v.f.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if _, err := v.f.Seek(validEnd, 0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	v.bytes, v.records, v.lastGen, v.lastVec = validEnd, records, lastGen, lastVec
+	return nil
+}
+
+// scanVectors walks the framed vector records, applying the same torn-tail
+// versus mid-log-corruption distinction as scanWAL: a failure that reaches
+// end of file is a crash mid-append and stops the scan cleanly; anything
+// with valid-looking data behind it is ErrCorrupt.
+func scanVectors(data []byte) (validEnd int64, records int64, lastGen uint64, lastVec []uint64, err error) {
+	off := 0
+	for off < len(data) {
+		rest := len(data) - off
+		if rest < frameHeaderSize {
+			return int64(off), records, lastGen, lastVec, nil // torn header
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(data[off:]))
+		wantCRC := binary.LittleEndian.Uint32(data[off+4:])
+		if payloadLen > maxRecordBytes {
+			if off+frameHeaderSize+payloadLen >= len(data) {
+				return int64(off), records, lastGen, lastVec, nil
+			}
+			return 0, 0, 0, nil, fmt.Errorf("%w: vector record at offset %d claims %d bytes", ErrCorrupt, off, payloadLen)
+		}
+		if rest < frameHeaderSize+payloadLen {
+			return int64(off), records, lastGen, lastVec, nil // torn payload
+		}
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+payloadLen]
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			if off+frameHeaderSize+payloadLen == len(data) {
+				return int64(off), records, lastGen, lastVec, nil // torn final payload
+			}
+			return 0, 0, 0, nil, fmt.Errorf("%w: vector record at offset %d fails checksum", ErrCorrupt, off)
+		}
+		gen, vec, derr := decodeVector(payload)
+		if derr != nil {
+			return 0, 0, 0, nil, fmt.Errorf("%w: vector record at offset %d: %v", ErrCorrupt, off, derr)
+		}
+		if records > 0 && gen != lastGen+1 {
+			return 0, 0, 0, nil, fmt.Errorf("%w: vector generation %d follows %d at offset %d", ErrCorrupt, gen, lastGen, off)
+		}
+		lastGen, lastVec = gen, vec
+		records++
+		off += frameHeaderSize + payloadLen
+	}
+	return int64(off), records, lastGen, lastVec, nil
+}
+
+// appendVectorFrame appends the framed record for (gen, vec) to dst.
+func appendVectorFrame(dst []byte, gen uint64, vec []uint64) []byte {
+	payload := binary.AppendUvarint(nil, gen)
+	payload = binary.AppendUvarint(payload, uint64(len(vec)))
+	for _, g := range vec {
+		payload = binary.AppendUvarint(payload, g)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// decodeVector parses a vector record payload.
+func decodeVector(payload []byte) (uint64, []uint64, error) {
+	r := reader{buf: payload}
+	gen := r.uvarint()
+	n := r.uvarint()
+	if r.err == nil && n > uint64(len(payload)) {
+		r.fail("shard count %d exceeds payload", n)
+	}
+	var vec []uint64
+	if r.err == nil {
+		vec = make([]uint64, n)
+		for i := range vec {
+			vec[i] = r.uvarint()
+		}
+	}
+	if r.err == nil && r.off != len(r.buf) {
+		r.fail("trailing bytes")
+	}
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	return gen, vec, nil
+}
+
+// Append durably logs the committed vector of global generation gen; the
+// record is fsynced before Append returns. Generations must be contiguous.
+func (v *VectorLog) Append(gen uint64, vec []uint64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	if v.records > 0 && gen != v.lastGen+1 {
+		return fmt.Errorf("store: vector generation %d, want %d", gen, v.lastGen+1)
+	}
+	frame := appendVectorFrame(nil, gen, vec)
+	if _, err := v.f.Write(frame); err != nil {
+		_ = v.f.Truncate(v.bytes)
+		_, _ = v.f.Seek(v.bytes, 0)
+		return fmt.Errorf("store: vector append: %w", err)
+	}
+	if err := v.f.Sync(); err != nil {
+		return fmt.Errorf("store: vector append fsync: %w", err)
+	}
+	v.bytes += int64(len(frame))
+	v.records++
+	v.lastGen = gen
+	v.lastVec = append([]uint64(nil), vec...)
+	return nil
+}
+
+// Last returns the newest committed vector and its global generation; ok is
+// false when the log holds no record.
+func (v *VectorLog) Last() (gen uint64, vec []uint64, ok bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.records == 0 {
+		return 0, nil, false
+	}
+	return v.lastGen, append([]uint64(nil), v.lastVec...), true
+}
+
+// Compact atomically rewrites the log down to its newest record (a no-op on
+// an empty or single-record log), so checkpoints bound its growth the way
+// snapshots bound the WAL's.
+func (v *VectorLog) Compact() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	if v.records <= 1 {
+		return nil
+	}
+	frame := appendVectorFrame(nil, v.lastGen, v.lastVec)
+	if err := writeFileSync(v.path+vectorTmpSuffix, frame); err != nil {
+		return fmt.Errorf("store: vector compact: %w", err)
+	}
+	if err := os.Rename(v.path+vectorTmpSuffix, v.path); err != nil {
+		return fmt.Errorf("store: vector compact: %w", err)
+	}
+	if err := syncDir(filepath.Dir(v.path)); err != nil {
+		return fmt.Errorf("store: vector compact: %w", err)
+	}
+	f, err := os.OpenFile(v.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: vector compact: %w", err)
+	}
+	if _, err := f.Seek(int64(len(frame)), 0); err != nil {
+		f.Close()
+		return fmt.Errorf("store: vector compact: %w", err)
+	}
+	v.f.Close()
+	v.f = f
+	v.bytes, v.records = int64(len(frame)), 1
+	return nil
+}
+
+// Stats reports the log's size for observability.
+func (v *VectorLog) Stats() (bytes, records int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.bytes, v.records
+}
+
+// Close releases the file handle. Appended records are already durable.
+func (v *VectorLog) Close() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return nil
+	}
+	v.closed = true
+	return v.f.Close()
+}

@@ -1,0 +1,281 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func openVectorLog(t *testing.T, dir string) *VectorLog {
+	t.Helper()
+	v, err := OpenVectorLog(filepath.Join(dir, "vector.log"))
+	if err != nil {
+		t.Fatalf("OpenVectorLog: %v", err)
+	}
+	t.Cleanup(func() { v.Close() })
+	return v
+}
+
+func TestVectorLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	v := openVectorLog(t, dir)
+	if _, _, ok := v.Last(); ok {
+		t.Fatal("empty log reports a record")
+	}
+	vectors := [][]uint64{{1, 0, 0}, {1, 1, 0}, {2, 1, 1}}
+	for i, vec := range vectors {
+		if err := v.Append(uint64(i+1), vec); err != nil {
+			t.Fatalf("Append %d: %v", i+1, err)
+		}
+	}
+	check := func(v *VectorLog) {
+		t.Helper()
+		gen, vec, ok := v.Last()
+		if !ok || gen != 3 || !reflect.DeepEqual(vec, []uint64{2, 1, 1}) {
+			t.Fatalf("Last = (%d, %v, %v), want (3, [2 1 1], true)", gen, vec, ok)
+		}
+	}
+	check(v)
+	if err := v.Append(5, []uint64{9, 9, 9}); err == nil {
+		t.Fatal("non-contiguous append succeeded")
+	}
+	v.Close()
+
+	v2 := openVectorLog(t, dir)
+	check(v2)
+	if _, records := v2.Stats(); records != 3 {
+		t.Fatalf("records = %d, want 3", records)
+	}
+}
+
+func TestVectorLogLastReturnsCopy(t *testing.T) {
+	v := openVectorLog(t, t.TempDir())
+	if err := v.Append(1, []uint64{1, 0}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	_, vec, _ := v.Last()
+	vec[0] = 99
+	if _, again, _ := v.Last(); again[0] != 1 {
+		t.Fatal("Last exposes internal vector state")
+	}
+}
+
+func TestVectorLogTornTail(t *testing.T) {
+	dir := t.TempDir()
+	v := openVectorLog(t, dir)
+	if err := v.Append(1, []uint64{1, 1}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := v.Append(2, []uint64{2, 1}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	v.Close()
+
+	path := filepath.Join(dir, "vector.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	for cut := len(data) - 1; cut > len(data)/2; cut-- {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		v2, err := OpenVectorLog(path)
+		if err != nil {
+			t.Fatalf("reopen after cut at %d: %v", cut, err)
+		}
+		gen, vec, ok := v2.Last()
+		v2.Close()
+		if !ok || gen != 1 || !reflect.DeepEqual(vec, []uint64{1, 1}) {
+			t.Fatalf("cut at %d: Last = (%d, %v, %v), want the first record", cut, gen, vec, ok)
+		}
+	}
+}
+
+func TestVectorLogMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	v := openVectorLog(t, dir)
+	for g := uint64(1); g <= 3; g++ {
+		if err := v.Append(g, []uint64{g, g}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	v.Close()
+
+	path := filepath.Join(dir, "vector.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	data[frameHeaderSize] ^= 0xff // corrupt the first record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := OpenVectorLog(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("reopen = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestVectorLogCompact(t *testing.T) {
+	dir := t.TempDir()
+	v := openVectorLog(t, dir)
+	if err := v.Compact(); err != nil {
+		t.Fatalf("Compact empty: %v", err)
+	}
+	for g := uint64(1); g <= 5; g++ {
+		if err := v.Append(g, []uint64{g, g * 2}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := v.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if _, records := v.Stats(); records != 1 {
+		t.Fatalf("records after compact = %d, want 1", records)
+	}
+	if gen, vec, ok := v.Last(); !ok || gen != 5 || !reflect.DeepEqual(vec, []uint64{5, 10}) {
+		t.Fatalf("Last after compact = (%d, %v, %v)", gen, vec, ok)
+	}
+	// Appends continue past the compacted record, and a reopen agrees.
+	if err := v.Append(6, []uint64{6, 12}); err != nil {
+		t.Fatalf("Append after compact: %v", err)
+	}
+	v.Close()
+	v2 := openVectorLog(t, dir)
+	if gen, vec, ok := v2.Last(); !ok || gen != 6 || !reflect.DeepEqual(vec, []uint64{6, 12}) {
+		t.Fatalf("Last after reopen = (%d, %v, %v)", gen, vec, ok)
+	}
+}
+
+func TestFileStoreTruncateAfter(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	mut := func(key string) Mutation {
+		return Mutation{Ops: []Op{{Kind: 1, Table: "T", Row: map[string]any{"id": key}}}}
+	}
+	for g := uint64(1); g <= 4; g++ {
+		if err := s.Append(g, mut("k")); err != nil {
+			t.Fatalf("Append %d: %v", g, err)
+		}
+	}
+
+	if err := s.TruncateAfter(4); err != nil {
+		t.Fatalf("TruncateAfter at lastGen: %v", err)
+	}
+	if err := s.TruncateAfter(9); err != nil {
+		t.Fatalf("TruncateAfter above lastGen: %v", err)
+	}
+	if err := s.TruncateAfter(2); err != nil {
+		t.Fatalf("TruncateAfter: %v", err)
+	}
+	var gens []uint64
+	if err := s.Replay(0, func(g uint64, m Mutation) error { gens = append(gens, g); return nil }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !reflect.DeepEqual(gens, []uint64{1, 2}) {
+		t.Fatalf("replayed gens = %v, want [1 2]", gens)
+	}
+	// The next append must slot in at the truncated position.
+	if err := s.Append(3, mut("again")); err != nil {
+		t.Fatalf("Append after truncate: %v", err)
+	}
+	s.Close()
+
+	// A reopened store agrees with the truncated view.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	gens = nil
+	if err := s2.Replay(0, func(g uint64, m Mutation) error { gens = append(gens, g); return nil }); err != nil {
+		t.Fatalf("Replay reopened: %v", err)
+	}
+	if !reflect.DeepEqual(gens, []uint64{1, 2, 3}) {
+		t.Fatalf("replayed gens = %v, want [1 2 3]", gens)
+	}
+}
+
+func TestFileStoreTruncateAfterRespectsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	db := testDatabase(t)
+	for g := uint64(1); g <= 3; g++ {
+		if err := s.Append(g, Mutation{Ops: []Op{{Kind: 1, Table: "T"}}}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.Snapshot(2, db); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := s.TruncateAfter(1); err == nil {
+		t.Fatal("TruncateAfter below snapshot generation succeeded")
+	}
+	if err := s.TruncateAfter(2); err != nil {
+		t.Fatalf("TruncateAfter at snapshot generation: %v", err)
+	}
+	var gens []uint64
+	if err := s.Replay(0, func(g uint64, m Mutation) error { gens = append(gens, g); return nil }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(gens) != 0 {
+		t.Fatalf("replayed gens = %v, want none (snapshot covers them)", gens)
+	}
+}
+
+func TestFaultStoreSticky(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	f := NewFaultStore(s)
+	f.Sticky = true
+	if err := f.Append(1, Mutation{Ops: []Op{{Kind: 1, Table: "T"}}}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	f.Point = CrashPostAppend
+	if err := f.Append(2, Mutation{Ops: []Op{{Kind: 1, Table: "T"}}}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Append at crash point = %v, want ErrInjected", err)
+	}
+	if !f.Dead() {
+		t.Fatal("sticky store not dead after injection")
+	}
+	// Every later write — including the rollback a live process would run —
+	// must bounce off the dead store, freezing the directory.
+	f.Point = CrashNone
+	if err := f.Append(3, Mutation{}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Append on dead store = %v, want ErrInjected", err)
+	}
+	if err := f.TruncateAfter(1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("TruncateAfter on dead store = %v, want ErrInjected", err)
+	}
+	if err := f.Snapshot(2, testDatabase(t)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Snapshot on dead store = %v, want ErrInjected", err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	var gens []uint64
+	if err := s2.Replay(0, func(g uint64, m Mutation) error { gens = append(gens, g); return nil }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !reflect.DeepEqual(gens, []uint64{1, 2}) {
+		t.Fatalf("replayed gens = %v, want [1 2] (post-append crash kept the record)", gens)
+	}
+}

@@ -88,6 +88,9 @@ func TestEngineRecoverRoundTrip(t *testing.T) {
 		if _, err := live.Apply(ctx, bm.next(t)); err != nil {
 			t.Fatalf("batch %d: %v", b, err)
 		}
+		// The durable engine keeps the equivalence property after every
+		// batch, not just at the end of the run.
+		requireEngineEquivalent(t, b, live, bm.rebuilt(t, live.Generation()))
 	}
 	acked := live.Generation()
 	st.Close()
@@ -129,6 +132,9 @@ func TestEngineRecoverFromSnapshotAndWAL(t *testing.T) {
 		if _, err := live.Apply(ctx, bm.next(t)); err != nil {
 			t.Fatalf("batch %d: %v", b, err)
 		}
+		// Automatic snapshots at even generations must not disturb the
+		// live state: the equivalence property holds after every batch.
+		requireEngineEquivalent(t, b, live, bm.rebuilt(t, live.Generation()))
 	}
 	st.Close()
 
@@ -270,6 +276,7 @@ func TestCheckpointTruncatesAndRecovers(t *testing.T) {
 		if _, err := live.Apply(ctx, bm.next(t)); err != nil {
 			t.Fatal(err)
 		}
+		requireEngineEquivalent(t, b, live, bm.rebuilt(t, live.Generation()))
 	}
 	if err := live.Checkpoint(); err != nil {
 		t.Fatalf("Checkpoint: %v", err)

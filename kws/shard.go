@@ -1,0 +1,381 @@
+package kws
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/search/paths"
+	"repro/internal/shard"
+)
+
+// Sharding. An engine constructed WithShards(n) partitions its tuples across
+// n goroutine-confined shard engines, each maintaining the data graph and
+// inverted index of exactly its partition. Reads scatter-gather: keyword
+// matching fans out to every shard's index, and the gathered match set feeds
+// the same enumeration, annotation and rank-preserving merge the unsharded
+// engine runs — the shard-determinism suite holds the output byte-identical
+// at every shard count. Writes stage once against the composed snapshot,
+// split the net delta by owner shard, and prepare the touched shards in
+// parallel; batches touching disjoint shards prepare concurrently under
+// per-shard leases, and a single atomic pointer store publishes the new
+// cross-shard cut. Readers pin the cut at entry, so one call never mixes two
+// shard generations.
+//
+// Durable sharded engines (WithShardStores) write each shard's delta to that
+// shard's own write-ahead log, then commit the batch by appending the global
+// generation and the full per-shard generation vector to a dedicated vector
+// log — the commit point. Recovery replays each shard to exactly its slot in
+// the newest committed vector, truncating unacknowledged shard appends, so a
+// crash at any point lands on a consistent cut covering every acknowledged
+// batch.
+
+// WithShards partitions the engine's tuples across n shard engines; n <= 1
+// keeps the engine unsharded and is the default. Search, Stream, SearchBatch
+// and Apply keep their exact semantics — and their exact output bytes — at
+// every shard count; sharding only changes how the work is spread across
+// goroutines. Combine with WithShardStores for durability (WithStore is for
+// unsharded engines and cannot be combined with sharding).
+func WithShards(n int) Option {
+	return func(c *Config) { c.shards = n }
+}
+
+// ShardStores is the per-shard durable layout of a sharded engine: one
+// store directory per shard plus the vector log that commits cross-shard
+// cuts. Open one with OpenShardedStore and pass it to WithShardStores.
+type ShardStores = shard.Stores
+
+// OpenShardedStore opens — creating it if needed — the sharded durability
+// layout rooted at dir: n per-shard stores (each a CRC-framed write-ahead
+// log plus newest snapshot, in dir/shard-<i>) and the vector log recording
+// committed cross-shard generations (dir/meta/vector.log). Reopening an
+// existing layout with a different n fails: the partitioner is fixed at
+// first boot. Pass the result to WithShardStores; close it after the engine
+// is discarded.
+func OpenShardedStore(dir string, n int) (*ShardStores, error) {
+	return shard.OpenStores(dir, n)
+}
+
+// WithShardStores attaches the per-shard durability layout to a sharded
+// engine. The shard count comes from the layout; WithShards may be given
+// alongside but must agree. New recovers the newest committed cut from the
+// vector log before building, and every later Apply appends each touched
+// shard's delta to its own log and commits the batch through the vector log
+// — fsynced before the generation is returned. The engine owns the layout
+// until it is discarded; callers must not touch it concurrently.
+func WithShardStores(s *ShardStores) Option {
+	return func(c *Config) { c.shardStores = s }
+}
+
+// newShardedPathsSearcher builds the paths searcher of one sharded
+// generation: the same enumeration engine as the unsharded path, with
+// keyword matching swapped for the cut's scatter-gather matcher. Everything
+// downstream of matching — candidate sorting, pair enumeration, dedup, the
+// rank-preserving merge, annotation — is literally the unsharded code, which
+// is what the byte-identity guarantee rests on.
+func newShardedPathsSearcher(c Components, states *shard.States) (Searcher, error) {
+	m := shard.NewMatcher(states, c.Graph.Tuples())
+	e, err := paths.NewWithMatcher(c.DB, c.Graph, c.Index, c.Analyzer, m, paths.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return pathsSearcher{engine: e}, nil
+}
+
+// applySharded is Apply for sharded engines. The flow:
+//
+//  1. Derive the touched shards from the ops and lease them (every batch
+//     leases in ascending shard order — no deadlocks; disjoint batches run
+//     concurrently). Ops whose owner cannot be derived lease every shard.
+//  2. Stage the batch once against the composed snapshot current at entry —
+//     the identical staging code, so every validation error is byte-identical
+//     to the unsharded engine's.
+//  3. Split the net delta by owner shard and prepare each touched shard's
+//     next Part in parallel (durable groups append each shard's delta to its
+//     log here).
+//  4. Under the publish lock: if a disjoint batch published meanwhile,
+//     re-stage against the newest snapshot (the lease guarantees this cannot
+//     fail — no published batch touched our tuples); commit the new
+//     generation vector through the vector log; publish.
+func (e *Engine) applySharded(ctx context.Context, m Mutation) (uint64, error) {
+	g := e.group
+	if len(m.Ops) == 0 {
+		return e.current().gen, nil
+	}
+	touched, ok := e.touchedShards(m)
+	if !ok {
+		// An op's owner could not be derived (bad table, malformed key...).
+		// Lease everything and let stage produce the exact error the
+		// unsharded engine would — derivation must never invent error paths.
+		touched = g.AllShards()
+	}
+	release := g.Lease(touched)
+	defer release()
+
+	// Staging extends the pinned snapshot's copy-on-write symbol tables;
+	// stageMu keeps concurrent disjoint-shard batches from extending the
+	// same parent tables at once (the per-shard Prepare below still runs
+	// outside it, so disjoint batches overlap where it matters).
+	e.stageMu.Lock()
+	snap := e.current()
+	next, removed, added, err := e.stageNet(ctx, snap, m)
+	e.stageMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled after staging but before any durable append: nothing has
+		// landed. As in the unsharded path, no cancellation checks happen
+		// below — once shard appends land, the batch must commit or abort
+		// explicitly, never dangle on a caller's context.
+		return 0, err
+	}
+	deltas := g.Split(removed, added)
+	for s := range deltas {
+		if !containsShard(touched, s) {
+			// Unreachable by construction: touchedShards covers every op or
+			// falls back to all shards. Guard anyway — publishing to an
+			// unleased shard would race a concurrent batch.
+			return 0, fmt.Errorf("kws: internal: batch touched unleased shard %d", s)
+		}
+	}
+	prepared, err := g.Prepare(snap.shards, deltas)
+	if err != nil {
+		if g.Durable() {
+			return 0, fmt.Errorf("%w: %v", ErrPersistence, err)
+		}
+		return 0, err
+	}
+
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	cur := e.current()
+	if cur != snap {
+		// A batch on disjoint shards published while we prepared. Re-stage
+		// against the newest composed snapshot: our leased shards' tuples are
+		// untouched by whatever published (they would have needed our
+		// leases), so the re-stage cannot fail and its net delta matches the
+		// prepared parts tuple for tuple.
+		e.stageMu.Lock()
+		//kwslint:ignore ctxflow the batch is past its cancellation point; see above
+		next, _, _, err = e.stageNet(context.Background(), cur, m)
+		e.stageMu.Unlock()
+		if err != nil {
+			if aerr := g.Abort(cur.shards, prepared); aerr != nil {
+				return 0, fmt.Errorf("%w: %v (and abort failed: %v)", ErrPersistence, err, aerr)
+			}
+			return 0, fmt.Errorf("kws: internal: sharded rebase failed: %w", err)
+		}
+	}
+	nextStates := cur.shards.Next(next.gen, prepared)
+	if err := g.Commit(nextStates); err != nil {
+		if aerr := g.Abort(cur.shards, prepared); aerr != nil {
+			return 0, fmt.Errorf("%w: %v (and abort failed: %v)", ErrPersistence, err, aerr)
+		}
+		return 0, fmt.Errorf("%w: %v", ErrPersistence, err)
+	}
+	published := &snapshot{
+		gen:       next.gen,
+		comp:      next.comp,
+		shards:    nextStates,
+		searchers: make(map[EngineKind]Searcher),
+	}
+	e.snap.Store(published)
+	e.maybeSnapshotSharded(published)
+	return published.gen, nil
+}
+
+// touchedShards derives the owner shards of every op in the batch without
+// staging it: inserts own the shard of their row's primary key, deletes and
+// updates the shard of their key — plus, for updates rewriting primary-key
+// columns, the shard of the moved-to identity. ok is false when any op's
+// owner cannot be derived (unknown table, malformed key, bad value type);
+// the caller then leases every shard so staging reports the exact error.
+func (e *Engine) touchedShards(m Mutation) ([]int, bool) {
+	snap := e.current()
+	p := e.group.Partitioner()
+	seen := make(map[int]bool)
+	for _, op := range m.Ops {
+		t, ok := snap.comp.DB.Table(op.Table)
+		if !ok {
+			return nil, false
+		}
+		switch op.Kind {
+		case OpInsert:
+			key, err := encodePK(t, pkFromRow(t, op.Row))
+			if err != nil {
+				return nil, false
+			}
+			seen[p.Owner(relation.TupleID{Relation: op.Table, Key: key})] = true
+		case OpDelete:
+			key, err := encodePK(t, op.Key)
+			if err != nil {
+				return nil, false
+			}
+			seen[p.Owner(relation.TupleID{Relation: op.Table, Key: key})] = true
+		case OpUpdate:
+			key, err := encodePK(t, op.Key)
+			if err != nil {
+				return nil, false
+			}
+			seen[p.Owner(relation.TupleID{Relation: op.Table, Key: key})] = true
+			if newKey, moved, err := movedKey(t, op, key); err != nil {
+				return nil, false
+			} else if moved {
+				seen[p.Owner(relation.TupleID{Relation: op.Table, Key: newKey})] = true
+			}
+		default:
+			return nil, false
+		}
+	}
+	shards := make([]int, 0, len(seen))
+	for s := range seen {
+		shards = append(shards, s)
+	}
+	// Lease order is the deadlock-avoidance order; map iteration must not
+	// leak into it.
+	sort.Ints(shards)
+	return shards, true
+}
+
+// pkFromRow projects an insert's row map down to its primary-key columns, in
+// the shape encodePK expects. Missing columns stay missing — encodePK then
+// rejects the selector and the caller falls back to leasing every shard.
+func pkFromRow(t *relation.Table, row map[string]any) map[string]any {
+	s := t.Schema()
+	key := make(map[string]any, len(s.PrimaryKey))
+	for _, col := range s.PrimaryKey {
+		if v, ok := row[col]; ok {
+			key[col] = v
+		}
+	}
+	return key
+}
+
+// movedKey reports whether an update rewrites a primary-key column and, if
+// so, the moved-to encoded key: the old tuple's key columns overlaid with
+// the update's row values.
+func movedKey(t *relation.Table, op Op, oldKey string) (string, bool, error) {
+	s := t.Schema()
+	touchesPK := false
+	for _, col := range s.PrimaryKey {
+		if _, ok := op.Row[col]; ok {
+			touchesPK = true
+			break
+		}
+	}
+	if !touchesPK {
+		return "", false, nil
+	}
+	old, ok := t.ByPrimaryKey(oldKey)
+	if !ok {
+		return "", false, fmt.Errorf("no tuple with key %q", oldKey)
+	}
+	vals := make([]relation.Value, len(s.PrimaryKey))
+	for i, col := range s.PrimaryKey {
+		v, set := op.Row[col]
+		if !set {
+			vals[i] = old.Value(col)
+			continue
+		}
+		def, _ := s.Column(col)
+		rv, err := toValue(v, def.Type)
+		if err != nil {
+			return "", false, err
+		}
+		if rv.IsNull() {
+			return "", false, fmt.Errorf("key column %s is NULL", col)
+		}
+		vals[i] = rv
+	}
+	newKey := relation.EncodeKey(vals)
+	return newKey, newKey != oldKey, nil
+}
+
+// containsShard reports whether the leased set covers shard s.
+func containsShard(leased []int, s int) bool {
+	for _, l := range leased {
+		if l == s {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeSnapshotSharded checkpoints every shard when the published generation
+// hits the snapshot cadence. Like the unsharded path, failures are counted
+// (PersistStats.SnapshotErrors), never surfaced: each shard's WAL already
+// holds its generations.
+func (e *Engine) maybeSnapshotSharded(next *snapshot) {
+	if !e.group.Durable() || e.snapshotEvery <= 0 || next.gen%uint64(e.snapshotEvery) != 0 {
+		return
+	}
+	if err := e.group.Checkpoint(next.shards); err != nil {
+		e.snapErrs.Add(1)
+	}
+}
+
+// GenerationVector returns the per-shard generation vector of the current
+// cut — entry i is the number of committed batches that touched shard i,
+// while Generation counts all committed batches. It returns nil for
+// unsharded engines. Readers pinning a snapshot pin the whole vector, so two
+// calls observing the same vector observed identical data on every shard.
+func (e *Engine) GenerationVector() []uint64 {
+	snap := e.current()
+	if snap.shards == nil {
+		return nil
+	}
+	return snap.shards.Vector()
+}
+
+// ShardStat describes one shard of a sharded engine's current cut.
+type ShardStat struct {
+	// Shard is the shard number (0-based).
+	Shard int
+	// Generation is the shard's own generation: the number of committed
+	// batches that changed this shard.
+	Generation uint64
+	// Tuples counts the tuples the shard owns.
+	Tuples int
+	// GraphEdges counts the edges of the shard's partition graph.
+	GraphEdges int
+	// IndexTerms and IndexDocs size the shard's inverted index.
+	IndexTerms int
+	IndexDocs  int
+	// WALBytes, WALRecords, SnapshotGeneration and SnapshotBytes describe
+	// the shard's durable state; all zero for memory-only engines.
+	WALBytes           int64
+	WALRecords         int64
+	SnapshotGeneration uint64
+	SnapshotBytes      int64
+}
+
+// ShardStats returns one ShardStat per shard of the current cut, in shard
+// order; ok is false for unsharded engines.
+func (e *Engine) ShardStats() (stats []ShardStat, ok bool) {
+	snap := e.current()
+	if snap.shards == nil {
+		return nil, false
+	}
+	g := e.group
+	stats = make([]ShardStat, len(snap.shards.Parts))
+	for s, part := range snap.shards.Parts {
+		st := ShardStat{
+			Shard:      s,
+			Generation: part.Gen,
+			Tuples:     part.DB.Stats().Tuples,
+			GraphEdges: part.Graph.EdgeCount(),
+		}
+		st.IndexTerms, st.IndexDocs = part.Index.TermCount(), part.Index.DocCount()
+		if g.Durable() {
+			sst := g.Stores().Shard(s).Stats()
+			st.WALBytes = sst.WALBytes
+			st.WALRecords = sst.WALRecords
+			st.SnapshotGeneration = sst.SnapshotGen
+			st.SnapshotBytes = sst.SnapshotBytes
+		}
+		stats[s] = st
+	}
+	return stats, true
+}

@@ -1,0 +1,233 @@
+package kws
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShardedReadersObserveConsistentCuts is the sharded analogue of
+// TestReadersNeverObserveTornSnapshot: Search, Stream and SearchBatch readers
+// race a writer on a 4-shard engine, and every observed result set must be
+// exactly the output of SOME published generation — never a mix of two
+// shards' histories — while every observed generation vector must be exactly
+// SOME committed cut. Expected outputs come from an UNSHARDED reference
+// (sharding must not change a byte) and expected vectors from a sharded
+// reference applying the identical script (the partitioner is deterministic,
+// so the vector sequence is too). Run with -race -cpu=1,4 in CI.
+func TestShardedReadersObserveConsistentCuts(t *testing.T) {
+	const shards = 4
+	query := Query{Keywords: []string{"Smith", "XML"}, MaxJoins: 3}
+	ctx := context.Background()
+	batches := raceBatches()
+
+	// Expected renders per generation, from an unsharded reference.
+	ref, err := New(PaperExample(), WithLabeler(PaperLabeler()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := make([][]string, 0, len(batches)+1)
+	record := func() {
+		res, err := ref.Search(ctx, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected = append(expected, renders(res))
+	}
+	record()
+	for _, m := range batches {
+		if _, err := ref.Apply(ctx, m); err != nil {
+			t.Fatal(err)
+		}
+		record()
+	}
+
+	// Expected generation vectors per generation, from a sharded reference.
+	vecRef, err := New(PaperExample(), WithLabeler(PaperLabeler()), WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectedVectors := [][]uint64{vecRef.GenerationVector()}
+	for _, m := range batches {
+		if _, err := vecRef.Apply(ctx, m); err != nil {
+			t.Fatal(err)
+		}
+		expectedVectors = append(expectedVectors, vecRef.GenerationVector())
+	}
+
+	live, err := New(PaperExample(), WithLabeler(PaperLabeler()), WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesSomeGeneration := func(got []string) bool {
+		for _, want := range expected {
+			if reflect.DeepEqual(got, want) {
+				return true
+			}
+		}
+		return false
+	}
+	matchesSomeVector := func(got []uint64) bool {
+		for _, want := range expectedVectors {
+			if reflect.DeepEqual(got, want) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var done atomic.Bool
+	errc := make(chan error, 64)
+	report := func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				if v := live.GenerationVector(); !matchesSomeVector(v) {
+					report(fmt.Errorf("torn generation vector: %v", v))
+					return
+				}
+				res, err := live.Search(ctx, query)
+				if err != nil {
+					report(err)
+					return
+				}
+				if got := renders(res); !matchesSomeGeneration(got) {
+					report(fmt.Errorf("torn sharded Search result: %v", got))
+					return
+				}
+			}
+		}()
+	}
+	// SearchBatch pins one cut: identical queries in one batch must agree.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !done.Load() {
+			out := live.SearchBatch(ctx, []Query{query, query})
+			if out[0].Err != nil || out[1].Err != nil {
+				report(fmt.Errorf("batch errors: %v / %v", out[0].Err, out[1].Err))
+				return
+			}
+			a, b := renders(out[0].Results), renders(out[1].Results)
+			if !reflect.DeepEqual(a, b) {
+				report(fmt.Errorf("batch mixed cuts: %v vs %v", a, b))
+				return
+			}
+			if !matchesSomeGeneration(a) {
+				report(fmt.Errorf("torn batch result: %v", a))
+				return
+			}
+		}
+	}()
+
+	for _, m := range batches {
+		time.Sleep(2 * time.Millisecond)
+		if _, err := live.Apply(ctx, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(2 * time.Millisecond)
+	done.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if live.Generation() != uint64(len(batches)) {
+		t.Fatalf("final generation = %d, want %d", live.Generation(), len(batches))
+	}
+	if got := live.GenerationVector(); !reflect.DeepEqual(got, expectedVectors[len(expectedVectors)-1]) {
+		t.Fatalf("final vector %v != reference %v", got, expectedVectors[len(expectedVectors)-1])
+	}
+	final, err := live.Search(ctx, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renders(final); !reflect.DeepEqual(got, expected[len(expected)-1]) {
+		t.Fatalf("final output %v != reference %v", got, expected[len(expected)-1])
+	}
+}
+
+// TestShardedConcurrentWritersSerialize races writers on a sharded engine:
+// commutative inserts from 8 goroutines must each publish exactly one
+// generation (batches on disjoint shards prepare concurrently; publication
+// is serialized), and the final state must match the unsharded engine fed
+// the same inserts.
+func TestShardedConcurrentWritersSerialize(t *testing.T) {
+	const writers = 8
+	sharded, err := New(PaperExample(), WithLabeler(PaperLabeler()), WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errc := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, err := sharded.Apply(ctx, Mutation{Ops: []Op{
+				Insert("DEPENDENT", map[string]any{
+					"ID": fmt.Sprintf("tc%d", w), "ESSN": "e3", "DEPENDENT_NAME": "Racer"}),
+			}})
+			if err != nil {
+				errc <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if sharded.Generation() != writers {
+		t.Fatalf("generation = %d, want %d", sharded.Generation(), writers)
+	}
+	// The vector's entries sum to the number of single-shard batches.
+	sum := uint64(0)
+	for _, g := range sharded.GenerationVector() {
+		sum += g
+	}
+	if sum != writers {
+		t.Fatalf("vector %v sums to %d, want %d", sharded.GenerationVector(), sum, writers)
+	}
+
+	// Byte-identity with the unsharded engine over the same final state.
+	reference, err := New(PaperExample(), WithLabeler(PaperLabeler()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < writers; w++ {
+		if _, err := reference.Apply(ctx, Mutation{Ops: []Op{
+			Insert("DEPENDENT", map[string]any{
+				"ID": fmt.Sprintf("tc%d", w), "ESSN": "e3", "DEPENDENT_NAME": "Racer"}),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := Query{Keywords: []string{"Racer"}, MaxJoins: 3}
+	want, err := reference.Search(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.Search(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded output diverged:\nsharded:   %v\nreference: %v", renders(got), renders(want))
+	}
+}

@@ -1,0 +1,114 @@
+package kws
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/paperdb"
+	"repro/internal/relation"
+)
+
+// TestTouchedShardsDerivation pins the lease-set derivation: each op leases
+// exactly its owner shard (plus the moved-to shard of a primary-key-rewriting
+// update), the set is ascending, and every underivable op — unknown table,
+// malformed selector, NULLed key column, unknown kind — falls back to
+// leasing everything so staging reports the precise error.
+func TestTouchedShardsDerivation(t *testing.T) {
+	e, err := New(&Database{db: paperdb.MustLoad()}, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.group.Partitioner()
+	owner := func(table, key string) int {
+		return p.Owner(relation.TupleID{Relation: table, Key: key})
+	}
+	encoded := func(vals ...relation.Value) string { return relation.EncodeKey(vals) }
+
+	row := map[string]any{"SSN": "e9", "L_NAME": "Hopper", "S_NAME": "Grace", "D_ID": "d1"}
+	cases := []struct {
+		name string
+		ops  []Op
+		want []int
+		ok   bool
+	}{
+		{"insert", []Op{Insert("EMPLOYEE", row)},
+			[]int{owner("EMPLOYEE", encoded(relation.String("e9")))}, true},
+		{"delete", []Op{Delete("DEPENDENT", map[string]any{"ID": "t2"})},
+			[]int{owner("DEPENDENT", encoded(relation.String("t2")))}, true},
+		{"update off-key", []Op{Update("EMPLOYEE", map[string]any{"SSN": "e1"}, map[string]any{"L_NAME": "Smythe"})},
+			[]int{owner("EMPLOYEE", encoded(relation.String("e1")))}, true},
+		{"update moving key", []Op{Update("EMPLOYEE", map[string]any{"SSN": "e1"}, map[string]any{"SSN": "e1m"})},
+			dedupSorted(owner("EMPLOYEE", encoded(relation.String("e1"))), owner("EMPLOYEE", encoded(relation.String("e1m")))), true},
+		{"update keeping key", []Op{Update("EMPLOYEE", map[string]any{"SSN": "e1"}, map[string]any{"SSN": "e1"})},
+			[]int{owner("EMPLOYEE", encoded(relation.String("e1")))}, true},
+		{"unknown table", []Op{Delete("NOSUCH", map[string]any{"ID": "x"})}, nil, false},
+		{"insert missing key column", []Op{Insert("EMPLOYEE", map[string]any{"L_NAME": "NoKey"})}, nil, false},
+		{"delete malformed selector", []Op{Delete("EMPLOYEE", map[string]any{"WRONG": "e1"})}, nil, false},
+		{"update of absent tuple moving key", []Op{Update("EMPLOYEE", map[string]any{"SSN": "nosuch"}, map[string]any{"SSN": "moved"})}, nil, false},
+		{"update nulling key column", []Op{Update("EMPLOYEE", map[string]any{"SSN": "e1"}, map[string]any{"SSN": nil})}, nil, false},
+		{"unknown kind", []Op{{Kind: OpKind(99), Table: "EMPLOYEE"}}, nil, false},
+	}
+	for _, tc := range cases {
+		got, ok := e.touchedShards(Mutation{Ops: tc.ops})
+		if ok != tc.ok {
+			t.Fatalf("%s: ok = %v, want %v", tc.name, ok, tc.ok)
+		}
+		if !tc.ok {
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: touched %v, want %v", tc.name, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%s: touched %v, want %v", tc.name, got, tc.want)
+			}
+			if i > 0 && got[i] <= got[i-1] {
+				t.Fatalf("%s: touched set %v is not strictly ascending", tc.name, got)
+			}
+		}
+	}
+}
+
+func dedupSorted(a, b int) []int {
+	if a == b {
+		return []int{a}
+	}
+	if a < b {
+		return []int{a, b}
+	}
+	return []int{b, a}
+}
+
+// TestShardedPKMovingUpdate drives a primary-key-rewriting update — the op
+// whose lease set spans two shards — end to end at every swept count and
+// byte-compares the result surfaces against the unsharded reference.
+func TestShardedPKMovingUpdate(t *testing.T) {
+	ctx := context.Background()
+	reference, err := New(&Database{db: paperdb.MustLoad()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []Op{
+		Update("EMPLOYEE", map[string]any{"SSN": "e1"}, map[string]any{"SSN": "e1moved"}),
+		Insert("EMPLOYEE", map[string]any{"SSN": "e9", "L_NAME": "Hopper", "S_NAME": "Grace", "D_ID": "d1"}),
+	}
+	wantGen, err := reference.Apply(ctx, Mutation{Ops: ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range shardSweep {
+		e, err := New(&Database{db: paperdb.MustLoad()}, WithShards(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := e.Apply(ctx, Mutation{Ops: ops})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", n, err)
+		}
+		if gen != wantGen {
+			t.Fatalf("shards=%d: generation %d, reference %d", n, gen, wantGen)
+		}
+		requireShardedOutputEqual(t, 0, n, reference, e)
+	}
+}
